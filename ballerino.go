@@ -1,0 +1,287 @@
+// Package ballerino is the public API of the Ballerino reproduction: a
+// cycle-level simulation of the MICRO 2022 paper "Reconstructing
+// Out-of-Order Issue Queue" (Jeong, Lee, Kuk, Ro).
+//
+// A simulation pairs a microarchitecture (InO, OoO, CES, CASINO, FXA,
+// Ballerino and its step variants) with a synthetic workload kernel and
+// runs a fixed number of μops through the shared pipeline model, returning
+// performance, scheduling-delay and energy results.
+//
+// Quick start:
+//
+//	res, err := ballerino.Run(ballerino.Config{
+//		Arch:     "Ballerino",
+//		Workload: "stream",
+//		MaxOps:   200_000,
+//	})
+//	fmt.Printf("IPC = %.2f\n", res.IPC)
+package ballerino
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/uprog"
+)
+
+// Config selects one simulation run. Zero values choose sensible defaults
+// (8-wide, the "stream" kernel, 200k μops).
+type Config struct {
+	// Arch is one of Architectures(). Default "Ballerino".
+	Arch string
+	// Width is the issue width: 2, 4, 8 or 10. Default 8.
+	Width int
+	// Workload is one of Workloads(). Default "stream". Ignored when
+	// Custom is set.
+	Workload string
+	// Custom, when non-nil, simulates a user-authored program (see
+	// package repro/uprog) instead of a named kernel.
+	Custom *uprog.Program
+	// FootprintBytes sizes memory-bound kernels (default 8 MiB).
+	FootprintBytes int64
+	// MaxOps is the number of dynamic μops to simulate. Default 200000.
+	MaxOps int
+	// WarmupOps, when positive, simulates that many μops first (warming
+	// caches, predictors and queues) and reports statistics only for the
+	// following MaxOps μops — the paper's SimPoint methodology.
+	WarmupOps int
+	// NumPIQs/PIQDepth override the clustered queue geometry (0 = Table II).
+	NumPIQs  int
+	PIQDepth int
+	// DisableMDP turns off memory dependence prediction.
+	DisableMDP bool
+	// DVFS selects an operating point "L1".."L4" (default "L4").
+	DVFS string
+	// MaxCycles aborts a stuck simulation (default 100× MaxOps).
+	MaxCycles uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Arch == "" {
+		c.Arch = string(config.ArchBallerino)
+	}
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.Workload == "" {
+		c.Workload = "stream"
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 200_000
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = uint64(c.MaxOps+c.WarmupOps) * 100
+	}
+	if c.DVFS == "" {
+		c.DVFS = "L4"
+	}
+	return c
+}
+
+// DelayBreakdown is the average decode-to-issue delay of one instruction
+// class, split into the three components of Figure 3c / Figure 12.
+type DelayBreakdown struct {
+	Count            uint64
+	DecodeToDispatch float64
+	DispatchToReady  float64
+	ReadyToIssue     float64
+}
+
+// Total is the average decode-to-issue delay.
+func (d DelayBreakdown) Total() float64 {
+	return d.DecodeToDispatch + d.DispatchToReady + d.ReadyToIssue
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Arch     string
+	Workload string
+	Width    int
+
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+	// TimeSeconds is wall-clock execution time at the operating point's
+	// frequency.
+	TimeSeconds float64
+
+	Branches       uint64
+	MispredictRate float64
+	Violations     uint64
+	Flushes        uint64
+
+	// Delay maps class name ("Ld", "LdC", "Rst", "All") to its breakdown.
+	Delay map[string]DelayBreakdown
+
+	// EnergyPJ is core-wide energy; EnergyByComponent splits it into the
+	// nine Figure 15 categories.
+	EnergyPJ          float64
+	EnergyByComponent map[string]float64
+	// EDP is energy × time (pJ·s); Efficiency is 1/EDP.
+	EDP        float64
+	Efficiency float64
+
+	// SchedCounters exposes microarchitecture-specific counters
+	// (steering outcomes, issue sources, sharing activations, ...).
+	SchedCounters map[string]uint64
+}
+
+// Architectures lists the evaluated microarchitectures.
+func Architectures() []string {
+	var names []string
+	for _, a := range config.AllArchs() {
+		names = append(names, string(a))
+	}
+	return names
+}
+
+// Workloads lists the standard synthetic kernel suite (the set every
+// figure-level experiment averages over).
+func Workloads() []string {
+	var names []string
+	for _, w := range workload.All(workload.Params{}) {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// ExtraWorkloads lists additional kernels runnable by name but excluded
+// from the calibrated figure suite (tree search, sorting passes, FFT
+// butterflies).
+func ExtraWorkloads() []string {
+	var names []string
+	for _, w := range workload.Extras(workload.Params{}) {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	var program *prog.Program
+	if cfg.Custom != nil {
+		program = cfg.Custom.Internal()
+		cfg.Workload = program.Name
+	} else {
+		w, err := workload.ByName(cfg.Workload, workload.Params{Footprint: cfg.FootprintBytes})
+		if err != nil {
+			return nil, err
+		}
+		program = w.Program
+	}
+	m, err := config.NewMachine(config.Arch(cfg.Arch), cfg.Width, config.Options{
+		NumPIQs:    cfg.NumPIQs,
+		PIQDepth:   cfg.PIQDepth,
+		DisableMDP: cfg.DisableMDP,
+		MaxCycles:  cfg.MaxCycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	level, err := dvfsLevel(cfg.DVFS)
+	if err != nil {
+		return nil, err
+	}
+
+	trace := prog.MustExecute(program, cfg.MaxOps+cfg.WarmupOps)
+	p, err := pipeline.New(m.Pipeline, trace.Ops, m.Factory)
+	if err != nil {
+		return nil, err
+	}
+	measured := uint64(len(trace.Ops))
+	if cfg.WarmupOps > 0 && len(trace.Ops) > cfg.WarmupOps {
+		if err := p.Warmup(uint64(cfg.WarmupOps)); err != nil {
+			return nil, fmt.Errorf("ballerino: warmup: %s on %s: %w", cfg.Arch, cfg.Workload, err)
+		}
+		measured = uint64(len(trace.Ops) - cfg.WarmupOps)
+	}
+	s, err := p.Run(measured)
+	if err != nil {
+		return nil, fmt.Errorf("ballerino: %s on %s: %w", cfg.Arch, cfg.Workload, err)
+	}
+
+	renames, _ := p.Renamer().Stats()
+	eb := energy.Compute(energy.DefaultParams(), energy.Inputs{
+		Stats:    s,
+		Sched:    p.Scheduler().Energy(),
+		Mem:      p.Mem(),
+		Renames:  renames,
+		MDPOn:    !cfg.DisableMDP,
+		VoltageV: level.VoltageV,
+		NominalV: 1.04,
+	})
+
+	timeSec := float64(s.Cycles) / (level.ClockGHz * 1e9)
+	res := &Result{
+		Arch:              cfg.Arch,
+		Workload:          cfg.Workload,
+		Width:             cfg.Width,
+		Cycles:            s.Cycles,
+		Committed:         s.Committed,
+		IPC:               s.IPC(),
+		TimeSeconds:       timeSec,
+		Branches:          s.Branches,
+		MispredictRate:    s.MispredictRate(),
+		Violations:        s.Violations,
+		Flushes:           s.Flushes,
+		Delay:             delayMap(s),
+		EnergyPJ:          eb.Total(),
+		EnergyByComponent: map[string]float64{},
+		EDP:               eb.Total() * timeSec,
+		SchedCounters:     p.Scheduler().Counters(),
+	}
+	if res.EDP > 0 {
+		res.Efficiency = 1 / res.EDP
+	}
+	for c := energy.Category(0); c < energy.NumCategories; c++ {
+		res.EnergyByComponent[c.String()] = eb.PJ[c]
+	}
+	return res, nil
+}
+
+func dvfsLevel(name string) (config.DVFSLevel, error) {
+	for _, l := range config.DVFSLevels() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return config.DVFSLevel{}, fmt.Errorf("ballerino: unknown DVFS level %q (valid: L1..L4)", name)
+}
+
+func delayMap(s *stats.Sim) map[string]DelayBreakdown {
+	m := make(map[string]DelayBreakdown, 4)
+	for cls := sched.Class(0); cls < 3; cls++ {
+		d := s.Delay[cls]
+		a, b, c := d.Avg()
+		m[cls.String()] = DelayBreakdown{
+			Count: d.Count, DecodeToDispatch: a, DispatchToReady: b, ReadyToIssue: c,
+		}
+	}
+	a, b, c := s.All.Avg()
+	m["All"] = DelayBreakdown{Count: s.All.Count, DecodeToDispatch: a, DispatchToReady: b, ReadyToIssue: c}
+	return m
+}
+
+// GeoMean returns the geometric mean of xs (0 if empty or non-positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

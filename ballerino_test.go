@@ -1,0 +1,184 @@
+package ballerino
+
+import (
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{MaxOps: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arch != "Ballerino" || res.Workload != "stream" || res.Width != 8 {
+		t.Errorf("defaults: %+v", res)
+	}
+	if res.Committed != 20_000 {
+		t.Errorf("committed = %d", res.Committed)
+	}
+	if res.IPC <= 0 || res.IPC > 8 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+	if res.EnergyPJ <= 0 || res.EDP <= 0 || res.Efficiency <= 0 {
+		t.Errorf("energy fields: %v %v %v", res.EnergyPJ, res.EDP, res.Efficiency)
+	}
+	if res.TimeSeconds <= 0 {
+		t.Errorf("time = %v", res.TimeSeconds)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Arch: "bogus", MaxOps: 1000}); err == nil {
+		t.Error("bogus arch accepted")
+	}
+	if _, err := Run(Config{Workload: "bogus", MaxOps: 1000}); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if _, err := Run(Config{DVFS: "L9", MaxOps: 1000}); err == nil {
+		t.Error("bogus DVFS level accepted")
+	}
+	if _, err := Run(Config{Width: 5, MaxOps: 1000}); err == nil {
+		t.Error("bogus width accepted")
+	}
+}
+
+func TestListingsNonEmpty(t *testing.T) {
+	if len(Architectures()) < 10 {
+		t.Errorf("architectures: %v", Architectures())
+	}
+	if len(Workloads()) < 10 {
+		t.Errorf("workloads: %v", Workloads())
+	}
+}
+
+func TestDelayMapComplete(t *testing.T) {
+	res, err := Run(Config{Arch: "OoO", Workload: "compute", MaxOps: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []string{"Ld", "LdC", "Rst", "All"} {
+		if _, ok := res.Delay[cls]; !ok {
+			t.Errorf("missing delay class %q", cls)
+		}
+	}
+	if res.Delay["All"].Count != res.Committed {
+		t.Errorf("All count %d != committed %d", res.Delay["All"].Count, res.Committed)
+	}
+	if res.Delay["All"].Total() <= 0 {
+		t.Error("zero total delay")
+	}
+}
+
+func TestEnergyComponentsSumToTotal(t *testing.T) {
+	res, err := Run(Config{Arch: "CES", Workload: "reduction", MaxOps: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range res.EnergyByComponent {
+		sum += v
+	}
+	if diff := sum - res.EnergyPJ; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("component sum %v != total %v", sum, res.EnergyPJ)
+	}
+	if len(res.EnergyByComponent) != 9 {
+		t.Errorf("components = %d, want 9", len(res.EnergyByComponent))
+	}
+}
+
+func TestDVFSScaling(t *testing.T) {
+	hi, err := Run(Config{Arch: "OoO", Workload: "compute", MaxOps: 20_000, DVFS: "L4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Run(Config{Arch: "OoO", Workload: "compute", MaxOps: 20_000, DVFS: "L1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Cycles != hi.Cycles {
+		t.Error("DVFS changed cycle counts")
+	}
+	if lo.TimeSeconds <= hi.TimeSeconds {
+		t.Error("lower clock not slower in wall-clock")
+	}
+	if lo.EnergyPJ >= hi.EnergyPJ {
+		t.Error("lower voltage not lower energy")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Arch: "Ballerino", Workload: "hash-join", MaxOps: 15_000}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.IPC != b.IPC || a.EnergyPJ != b.EnergyPJ {
+		t.Errorf("simulation not deterministic: %v vs %v cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestNumPIQsOverrideChangesBehaviour(t *testing.T) {
+	small, err := Run(Config{Arch: "Ballerino", Workload: "sparse-trees", MaxOps: 30_000, NumPIQs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Config{Arch: "Ballerino", Workload: "sparse-trees", MaxOps: 30_000, NumPIQs: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.IPC <= small.IPC {
+		t.Errorf("more P-IQs not faster on chain-rich kernel: %.3f vs %.3f", big.IPC, small.IPC)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); got != 4 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean with negative != 0")
+	}
+}
+
+func TestWarmupReportsMeasuredRegionOnly(t *testing.T) {
+	cold, err := Run(Config{Arch: "OoO", Workload: "reduction", MaxOps: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(Config{Arch: "OoO", Workload: "reduction", MaxOps: 30_000, WarmupOps: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm-up boundary lands on a commit-group edge, so up to one
+	// commit width of μops may shift between the phases.
+	if warm.Committed < 30_000-8 || warm.Committed > 30_000 {
+		t.Fatalf("measured commits = %d, want ≈30000", warm.Committed)
+	}
+	// A warmed reduction run (L2-resident working set) must beat the
+	// cold-cache run.
+	if warm.IPC <= cold.IPC {
+		t.Errorf("warmed IPC %.3f not above cold %.3f", warm.IPC, cold.IPC)
+	}
+}
+
+func TestExtraWorkloadsRunnable(t *testing.T) {
+	extras := ExtraWorkloads()
+	if len(extras) < 3 {
+		t.Fatalf("extras = %v", extras)
+	}
+	for _, name := range extras {
+		res, err := Run(Config{Arch: "Ballerino", Workload: name, MaxOps: 8_000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Committed != 8_000 {
+			t.Errorf("%s committed %d", name, res.Committed)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package ballerino_test
+
+import (
+	"testing"
+
+	ballerino "repro"
+	"repro/internal/exp"
+)
+
+// benchOpts keeps the per-figure benchmarks affordable: a representative
+// kernel subset and a reduced μop budget. cmd/experiments runs the full
+// suite at full fidelity; these benches regenerate each figure's rows and
+// report its headline number as a custom metric.
+func benchOpts() exp.Options {
+	return exp.Options{
+		Ops:       20_000,
+		Workloads: []string{"compute", "hash-join", "sparse-trees", "stream"},
+	}
+}
+
+func benchFigure(b *testing.B, run func(exp.Options) (*exp.Table, error), metric func(*exp.Table) (string, float64)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+		if metric != nil {
+			name, v := metric(t)
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// BenchmarkFig03SchedulingDelay regenerates Figure 3c (decode-to-issue
+// delay breakdown for InO/CES/CASINO/OoO).
+func BenchmarkFig03SchedulingDelay(b *testing.B) {
+	benchFigure(b, exp.Fig3c, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("OoO/All", "total")
+		return "OoO-dec2issue-cyc", v
+	})
+}
+
+// BenchmarkFig04CESSteering regenerates Figure 4 (CES steering outcomes).
+func BenchmarkFig04CESSteering(b *testing.B) {
+	benchFigure(b, exp.Fig4, nil)
+}
+
+// BenchmarkFig06aPIQStalls regenerates Figure 6a (P-IQ head cycle
+// breakdown of the Step 2 design).
+func BenchmarkFig06aPIQStalls(b *testing.B) {
+	benchFigure(b, exp.Fig6a, nil)
+}
+
+// BenchmarkFig06bPIQSensitivity regenerates Figure 6b (IPC sensitivity to
+// P-IQ count and size).
+func BenchmarkFig06bPIQSensitivity(b *testing.B) {
+	benchFigure(b, exp.Fig6b, func(t *exp.Table) (string, float64) {
+		hi, _ := t.Get("11 P-IQs", "depth12")
+		lo, _ := t.Get("3 P-IQs", "depth12")
+		if lo == 0 {
+			return "count-sensitivity", 0
+		}
+		return "count-sensitivity", hi / lo
+	})
+}
+
+// BenchmarkFig11Speedup regenerates Figure 11 (speedup over InO for every
+// microarchitecture).
+func BenchmarkFig11Speedup(b *testing.B) {
+	benchFigure(b, exp.Fig11, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("Ballerino", "GEOMEAN")
+		return "ballerino-speedup", v
+	})
+}
+
+// BenchmarkFig12SchedulingPerf regenerates Figure 12 (Ballerino's
+// scheduling-delay breakdown versus CES/CASINO/OoO).
+func BenchmarkFig12SchedulingPerf(b *testing.B) {
+	benchFigure(b, exp.Fig12, nil)
+}
+
+// BenchmarkFig13Steps regenerates Figure 13 (step-by-step gains).
+func BenchmarkFig13Steps(b *testing.B) {
+	benchFigure(b, exp.Fig13, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("Ballerino", "speedup")
+		return "step3-speedup", v
+	})
+}
+
+// BenchmarkFig14IssueBreakdown regenerates Figure 14 (S-IQ vs P-IQ issue
+// fractions).
+func BenchmarkFig14IssueBreakdown(b *testing.B) {
+	benchFigure(b, exp.Fig14, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("Ballerino-step1", "S-IQ")
+		return "siq-fraction", v
+	})
+}
+
+// BenchmarkFig15Energy regenerates Figure 15 (energy by component,
+// normalised to OoO).
+func BenchmarkFig15Energy(b *testing.B) {
+	benchFigure(b, exp.Fig15, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("Ballerino", "TOTAL")
+		return "ballerino-energy-vs-ooo", v
+	})
+}
+
+// BenchmarkFig16EnergyEfficiency regenerates Figure 16 (1/EDP normalised
+// to OoO).
+func BenchmarkFig16EnergyEfficiency(b *testing.B) {
+	benchFigure(b, exp.Fig16, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("Ballerino", "efficiency")
+		return "ballerino-eff-vs-ooo", v
+	})
+}
+
+// BenchmarkFig17aIssueWidth regenerates Figure 17a (issue-width scaling).
+func BenchmarkFig17aIssueWidth(b *testing.B) {
+	benchFigure(b, exp.Fig17a, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("Ballerino", "w8")
+		return "ballerino-8wide-speedup", v
+	})
+}
+
+// BenchmarkFig17bDVFS regenerates Figure 17b (frequency/voltage levels).
+func BenchmarkFig17bDVFS(b *testing.B) {
+	benchFigure(b, exp.Fig17b, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("Ballerino@L4", "efficiency")
+		return "ballerino-L4-eff-vs-cesL4", v
+	})
+}
+
+// BenchmarkFig17cPIQCount regenerates Figure 17c (P-IQ count sweep).
+func BenchmarkFig17cPIQCount(b *testing.B) {
+	benchFigure(b, exp.Fig17c, func(t *exp.Table) (string, float64) {
+		v, _ := t.Get("11 P-IQs", "speedup")
+		return "11piq-speedup", v
+	})
+}
+
+// BenchmarkMDPImpact regenerates the §III-B memory-dependence-prediction
+// ablation (violations removed, speedup).
+func BenchmarkMDPImpact(b *testing.B) {
+	o := benchOpts()
+	o.Workloads = []string{"store-load"}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.MDPImpact(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := t.Get("store-load", "speedup"); ok {
+			b.ReportMetric(v, "mdp-speedup")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (μops/s) per
+// microarchitecture — the cost of running the reproduction itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, arch := range []string{"InO", "OoO", "CES", "CASINO", "FXA", "Ballerino"} {
+		b.Run(arch, func(b *testing.B) {
+			const ops = 50_000
+			for i := 0; i < b.N; i++ {
+				if _, err := ballerino.Run(ballerino.Config{Arch: arch, Workload: "mixed", MaxOps: ops}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+		})
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation study.
+func BenchmarkAblations(b *testing.B) {
+	o := exp.Options{Ops: 15_000, Workloads: []string{"compute", "sparse-trees"}}
+	for i := 0; i < b.N; i++ {
+		t, err := exp.Ablations(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := t.Get("no-sharing", "rel_ipc"); ok {
+			b.ReportMetric(v, "no-sharing-rel-ipc")
+		}
+	}
+}

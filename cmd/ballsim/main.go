@@ -1,0 +1,138 @@
+// Command ballsim runs a single Ballerino-reproduction simulation (or a
+// small comparison sweep) and prints the results.
+//
+// Usage:
+//
+//	ballsim -arch Ballerino -workload stream -ops 200000
+//	ballsim -compare -ops 100000            # all architectures × kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	var (
+		arch    = flag.String("arch", "Ballerino", "microarchitecture (see -list)")
+		wl      = flag.String("workload", "stream", "workload kernel (see -list)")
+		width   = flag.Int("width", 8, "issue width: 2, 4, 8 or 10")
+		ops     = flag.Int("ops", 200_000, "dynamic μops to simulate")
+		foot    = flag.Int64("footprint", 0, "data footprint in bytes (0 = default 8 MiB)")
+		piqs    = flag.Int("piqs", 0, "override P-IQ count (0 = Table II)")
+		depth   = flag.Int("piq-depth", 0, "override P-IQ depth (0 = Table II)")
+		noMDP   = flag.Bool("no-mdp", false, "disable memory dependence prediction")
+		dvfs    = flag.String("dvfs", "L4", "operating point L1..L4")
+		list    = flag.Bool("list", false, "list architectures and workloads")
+		compare = flag.Bool("compare", false, "run every architecture on every kernel")
+		verbose = flag.Bool("v", false, "print scheduler counters and energy breakdown")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("architectures:")
+		for _, a := range ballerino.Architectures() {
+			fmt.Printf("  %s\n", a)
+		}
+		fmt.Println("workloads:")
+		for _, w := range ballerino.Workloads() {
+			fmt.Printf("  %s\n", w)
+		}
+		return
+	}
+
+	if *compare {
+		runCompare(*width, *ops, *foot)
+		return
+	}
+
+	res, err := ballerino.Run(ballerino.Config{
+		Arch:           *arch,
+		Width:          *width,
+		Workload:       *wl,
+		FootprintBytes: *foot,
+		MaxOps:         *ops,
+		NumPIQs:        *piqs,
+		PIQDepth:       *depth,
+		DisableMDP:     *noMDP,
+		DVFS:           *dvfs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s (%d-wide, %d μops)\n", res.Arch, res.Workload, res.Width, res.Committed)
+	fmt.Printf("  cycles      %d\n", res.Cycles)
+	fmt.Printf("  IPC         %.3f\n", res.IPC)
+	fmt.Printf("  mispredict  %.2f%%\n", 100*res.MispredictRate)
+	fmt.Printf("  violations  %d (flushes %d)\n", res.Violations, res.Flushes)
+	fmt.Printf("  energy      %.2f µJ (EDP %.3g pJ·s)\n", res.EnergyPJ/1e6, res.EDP)
+	for _, cls := range []string{"Ld", "LdC", "Rst", "All"} {
+		d := res.Delay[cls]
+		fmt.Printf("  delay %-4s  d2d=%.1f d2r=%.1f r2i=%.1f (n=%d)\n",
+			cls, d.DecodeToDispatch, d.DispatchToReady, d.ReadyToIssue, d.Count)
+	}
+	if *verbose {
+		fmt.Println("  scheduler counters:")
+		var keys []string
+		for k := range res.SchedCounters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("    %-18s %d\n", k, res.SchedCounters[k])
+		}
+		fmt.Println("  energy by component (pJ):")
+		var comps []string
+		for k := range res.EnergyByComponent {
+			comps = append(comps, k)
+		}
+		sort.Strings(comps)
+		for _, k := range comps {
+			fmt.Printf("    %-14s %.3g\n", k, res.EnergyByComponent[k])
+		}
+	}
+}
+
+func runCompare(width, ops int, foot int64) {
+	archs := ballerino.Architectures()
+	wls := ballerino.Workloads()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "arch")
+	for _, w := range wls {
+		fmt.Fprintf(tw, "\t%s", w)
+	}
+	fmt.Fprintf(tw, "\tGEOMEAN\n")
+	base := map[string]float64{}
+	for _, a := range archs {
+		fmt.Fprintf(tw, "%s", a)
+		var ipcs []float64
+		for _, w := range wls {
+			res, err := ballerino.Run(ballerino.Config{
+				Arch: a, Width: width, Workload: w,
+				FootprintBytes: foot, MaxOps: ops,
+			})
+			if err != nil {
+				fmt.Fprintf(tw, "\tERR")
+				fmt.Fprintln(os.Stderr, err)
+				continue
+			}
+			if a == "InO" {
+				base[w] = res.IPC
+			}
+			speedup := res.IPC
+			if b := base[w]; b > 0 {
+				speedup = res.IPC / b
+			}
+			ipcs = append(ipcs, speedup)
+			fmt.Fprintf(tw, "\t%.2f", speedup)
+		}
+		fmt.Fprintf(tw, "\t%.2f\n", ballerino.GeoMean(ipcs))
+		tw.Flush()
+	}
+}

@@ -1,0 +1,83 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the reproduction's synthetic workload suite.
+//
+// Usage:
+//
+//	experiments                 # run everything (several minutes)
+//	experiments -fig 11,13,16   # selected figures
+//	experiments -ops 300000     # higher-fidelity runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/exp"
+)
+
+type figure struct {
+	name string
+	run  func(exp.Options) (*exp.Table, error)
+}
+
+var figures = []figure{
+	{"3c", exp.Fig3c},
+	{"4", exp.Fig4},
+	{"6a", exp.Fig6a},
+	{"6b", exp.Fig6b},
+	{"11", exp.Fig11},
+	{"12", exp.Fig12},
+	{"13", exp.Fig13},
+	{"14", exp.Fig14},
+	{"15", exp.Fig15},
+	{"16", exp.Fig16},
+	{"17a", exp.Fig17a},
+	{"17b", exp.Fig17b},
+	{"17c", exp.Fig17c},
+	{"mdp", exp.MDPImpact},
+	{"ablations", exp.Ablations},
+	{"casino-search", exp.CasinoSearch},
+}
+
+func main() {
+	var (
+		figs = flag.String("fig", "all", "comma-separated figure ids (3c,4,6a,6b,11,12,13,14,15,16,17a,17b,17c,mdp,ablations,casino-search,tables) or 'all'")
+		ops  = flag.Int("ops", 150_000, "dynamic μops per simulation")
+		wls  = flag.String("workloads", "", "comma-separated kernel subset (default all)")
+	)
+	flag.Parse()
+
+	o := exp.Options{Ops: *ops}
+	if *wls != "" {
+		o.Workloads = strings.Split(*wls, ",")
+	}
+
+	want := map[string]bool{}
+	all := *figs == "all"
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+
+	if all || want["tables"] {
+		fmt.Println(exp.TableI())
+		fmt.Println(exp.TableII())
+		fmt.Println(energy.StateReport())
+	}
+	for _, f := range figures {
+		if !all && !want[f.name] {
+			continue
+		}
+		start := time.Now()
+		t, err := f.run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		fmt.Printf("(figure %s took %.1fs)\n\n", f.name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,74 @@
+// Command sweep runs a (architecture × width × workload) grid and emits one
+// CSV row per simulation — the raw-data exporter for downstream plotting.
+//
+//	sweep -archs InO,OoO,Ballerino -widths 4,8 -ops 100000 > results.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		archs  = flag.String("archs", strings.Join(ballerino.Architectures(), ","), "architectures")
+		widths = flag.String("widths", "8", "issue widths")
+		wls    = flag.String("workloads", strings.Join(ballerino.Workloads(), ","), "workload kernels")
+		ops    = flag.Int("ops", 100_000, "μops per simulation")
+		warm   = flag.Int("warmup", 0, "warm-up μops before measurement")
+	)
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	w.Write([]string{
+		"arch", "width", "workload", "ops", "cycles", "ipc",
+		"mispredict_rate", "violations", "energy_pj", "edp", "efficiency",
+	})
+
+	for _, arch := range strings.Split(*archs, ",") {
+		for _, ws := range strings.Split(*widths, ",") {
+			width, err := strconv.Atoi(strings.TrimSpace(ws))
+			if err != nil {
+				fatal(err)
+			}
+			for _, wl := range strings.Split(*wls, ",") {
+				res, err := ballerino.Run(ballerino.Config{
+					Arch:      strings.TrimSpace(arch),
+					Width:     width,
+					Workload:  strings.TrimSpace(wl),
+					MaxOps:    *ops,
+					WarmupOps: *warm,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				w.Write([]string{
+					res.Arch,
+					strconv.Itoa(res.Width),
+					res.Workload,
+					strconv.FormatUint(res.Committed, 10),
+					strconv.FormatUint(res.Cycles, 10),
+					fmt.Sprintf("%.4f", res.IPC),
+					fmt.Sprintf("%.4f", res.MispredictRate),
+					strconv.FormatUint(res.Violations, 10),
+					fmt.Sprintf("%.0f", res.EnergyPJ),
+					fmt.Sprintf("%.6g", res.EDP),
+					fmt.Sprintf("%.6g", res.Efficiency),
+				})
+				w.Flush()
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package ballerino_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	ballerino "repro"
+)
+
+// ExampleRun simulates the Ballerino scheduler on the quickstart workload.
+func ExampleRun() {
+	res, err := ballerino.Run(ballerino.Config{
+		Arch:     "Ballerino",
+		Workload: "compute",
+		MaxOps:   50_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Arch, "committed", res.Committed, "μops")
+	fmt.Println("IPC above in-order levels:", res.IPC > 1.0)
+	// Output:
+	// Ballerino committed 50000 μops
+	// IPC above in-order levels: true
+}
+
+// ExampleRun_comparison ranks two schedulers on the same kernel.
+func ExampleRun_comparison() {
+	ipc := func(arch string) float64 {
+		r, err := ballerino.Run(ballerino.Config{Arch: arch, Workload: "sparse-trees", MaxOps: 40_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.IPC
+	}
+	fmt.Println("Ballerino beats CASINO on gather-heavy code:", ipc("Ballerino") > ipc("CASINO"))
+	// Output:
+	// Ballerino beats CASINO on gather-heavy code: true
+}
+
+// ExampleWorkloads lists the kernel suite.
+func ExampleWorkloads() {
+	ws := ballerino.Workloads()
+	sort.Strings(ws)
+	for _, w := range ws[:3] {
+		fmt.Println(w)
+	}
+	// Output:
+	// branchy
+	// compute
+	// hash-join
+}

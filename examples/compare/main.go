@@ -1,0 +1,49 @@
+// Compare: run every scheduler on one workload and rank them — a
+// single-kernel slice of the paper's Figure 11.
+//
+//	go run ./examples/compare -workload hash-join
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	wl := flag.String("workload", "hash-join", "kernel to compare on")
+	ops := flag.Int("ops", 150_000, "μops to simulate")
+	flag.Parse()
+
+	type entry struct {
+		arch string
+		ipc  float64
+	}
+	var rows []entry
+	var inoIPC float64
+	for _, arch := range ballerino.Architectures() {
+		res, err := ballerino.Run(ballerino.Config{
+			Arch: arch, Workload: *wl, MaxOps: *ops,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if arch == "InO" {
+			inoIPC = res.IPC
+		}
+		rows = append(rows, entry{arch, res.IPC})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ipc > rows[j].ipc })
+
+	fmt.Printf("scheduler ranking on %q (%d μops):\n", *wl, *ops)
+	for _, r := range rows {
+		fmt.Printf("  %-18s IPC %.3f", r.arch, r.ipc)
+		if inoIPC > 0 {
+			fmt.Printf("   (%.2fx InO)", r.ipc/inoIPC)
+		}
+		fmt.Println()
+	}
+}

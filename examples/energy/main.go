@@ -1,0 +1,57 @@
+// Energy: reproduce the paper's headline energy-efficiency claim on a
+// single workload — Ballerino should deliver near-out-of-order performance
+// at clustered-in-order energy (Figures 15 and 16).
+//
+//	go run ./examples/energy -workload compute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+)
+
+import "repro"
+
+func main() {
+	wl := flag.String("workload", "compute", "kernel to measure")
+	ops := flag.Int("ops", 150_000, "μops to simulate")
+	flag.Parse()
+
+	archs := []string{"InO", "CES", "CASINO", "FXA", "Ballerino", "Ballerino-12", "OoO"}
+	var oooEff, oooEnergy float64
+
+	type row struct {
+		arch             string
+		ipc, energy, eff float64
+		sched            float64
+	}
+	var rows []row
+	for _, arch := range archs {
+		res, err := ballerino.Run(ballerino.Config{Arch: arch, Workload: *wl, MaxOps: *ops})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := row{
+			arch:   arch,
+			ipc:    res.IPC,
+			energy: res.EnergyPJ,
+			eff:    res.Efficiency,
+			sched:  res.EnergyByComponent["Schedule"] + res.EnergyByComponent["Steer"],
+		}
+		if arch == "OoO" {
+			oooEff, oooEnergy = r.eff, r.energy
+		}
+		rows = append(rows, r)
+	}
+
+	fmt.Printf("energy report on %q (%d μops), normalised to OoO:\n", *wl, *ops)
+	fmt.Printf("  %-14s %8s %10s %12s %12s\n", "arch", "IPC", "energy", "sched+steer", "perf/energy")
+	for _, r := range rows {
+		fmt.Printf("  %-14s %8.3f %9.0f%% %11.0f%% %11.0f%%\n",
+			r.arch, r.ipc,
+			100*r.energy/oooEnergy,
+			100*r.sched/oooEnergy,
+			100*r.eff/oooEff)
+	}
+}

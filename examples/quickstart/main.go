@@ -1,0 +1,35 @@
+// Quickstart: simulate the Ballerino scheduler on a streaming workload and
+// print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	res, err := ballerino.Run(ballerino.Config{
+		Arch:     "Ballerino",
+		Workload: "stream",
+		MaxOps:   200_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %q (%d-wide)\n", res.Arch, res.Workload, res.Width)
+	fmt.Printf("  committed    %d μops in %d cycles\n", res.Committed, res.Cycles)
+	fmt.Printf("  IPC          %.3f\n", res.IPC)
+	fmt.Printf("  mispredicts  %.2f%% of %d branches\n", 100*res.MispredictRate, res.Branches)
+	fmt.Printf("  core energy  %.1f µJ\n", res.EnergyPJ/1e6)
+
+	// Where did issues come from? (Ballerino-specific counters.)
+	siq := res.SchedCounters["issued_siq"]
+	piq := res.SchedCounters["issued_piq"]
+	fmt.Printf("  issue mix    %.0f%% S-IQ (speculative), %.0f%% P-IQ heads\n",
+		100*float64(siq)/float64(siq+piq), 100*float64(piq)/float64(siq+piq))
+}

@@ -1,0 +1,43 @@
+// Tuning: sweep the Ballerino back-end geometry (number and depth of
+// P-IQs) on a chain-rich workload — the capacity-planning exercise behind
+// the paper's Figures 6b and 17c.
+//
+//	go run ./examples/tuning -workload sparse-trees
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	wl := flag.String("workload", "sparse-trees", "kernel to sweep on")
+	ops := flag.Int("ops", 100_000, "μops to simulate")
+	flag.Parse()
+
+	fmt.Printf("Ballerino P-IQ geometry sweep on %q\n", *wl)
+	fmt.Printf("%8s", "piqs\\d")
+	depths := []int{6, 12, 24}
+	for _, d := range depths {
+		fmt.Printf("%10d", d)
+	}
+	fmt.Println()
+	for _, n := range []int{3, 5, 7, 9, 11, 13} {
+		fmt.Printf("%8d", n)
+		for _, d := range depths {
+			res, err := ballerino.Run(ballerino.Config{
+				Arch: "Ballerino", Workload: *wl, MaxOps: *ops,
+				NumPIQs: n, PIQDepth: d,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.3f", res.IPC)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(compare rows: the count matters far more than the depth — Figure 6b)")
+}

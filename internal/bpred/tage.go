@@ -1,0 +1,263 @@
+// Package bpred implements the Table I front-end predictors: a TAGE
+// direction predictor (one bimodal base table plus four tagged tables
+// indexed by geometrically increasing global-history lengths folded from a
+// 17-bit GHR) and a 512-set, 4-way set-associative branch target buffer.
+package bpred
+
+// History lengths of the four tagged TAGE components. The longest equals
+// the paper's 17-bit global history register.
+var tageHistLens = [4]int{3, 6, 11, 17}
+
+const (
+	bimodalBits = 13 // 8K-entry bimodal
+	taggedBits  = 10 // 1K entries per tagged table
+	tagBits     = 8
+	ctrMax      = 3 // 3-bit signed counter range [-4, 3] stored as 0..7
+	usefulMax   = 3
+	ghrBits     = 17
+)
+
+type taggedEntry struct {
+	tag    uint16
+	ctr    int8  // -4..3, taken if ≥ 0
+	useful uint8 // 0..3
+}
+
+// TAGE is the direction predictor.
+type TAGE struct {
+	bimodal []int8 // -2..1, taken if ≥ 0
+	tables  [4][]taggedEntry
+	ghr     uint32 // low ghrBits bits are live
+
+	// Statistics.
+	predicts    uint64
+	mispredicts uint64
+
+	// allocSeed drives the pseudo-random allocation choice between two
+	// candidate tables, as in the original TAGE.
+	allocSeed uint64
+}
+
+// NewTAGE returns a predictor with all counters weakly not-taken.
+func NewTAGE() *TAGE {
+	t := &TAGE{bimodal: make([]int8, 1<<bimodalBits)}
+	for i := range t.tables {
+		t.tables[i] = make([]taggedEntry, 1<<taggedBits)
+	}
+	return t
+}
+
+// fold compresses the low n bits of the GHR into width bits.
+func fold(ghr uint32, n, width int) uint32 {
+	h := ghr & ((1 << n) - 1)
+	var out uint32
+	for n > 0 {
+		out ^= h & ((1 << width) - 1)
+		h >>= width
+		n -= width
+	}
+	return out
+}
+
+func (t *TAGE) index(table int, pc uint64) uint32 {
+	h := fold(t.ghr, tageHistLens[table], taggedBits)
+	return (uint32(pc) ^ uint32(pc>>taggedBits) ^ h ^ uint32(table)*0x9E37) & ((1 << taggedBits) - 1)
+}
+
+func (t *TAGE) tag(table int, pc uint64) uint16 {
+	h := fold(t.ghr, tageHistLens[table], tagBits)
+	return uint16((uint32(pc>>2) ^ h ^ (h << 1) ^ uint32(table)*31) & ((1 << tagBits) - 1))
+}
+
+func (t *TAGE) bimodalIdx(pc uint64) uint32 {
+	return uint32(pc) & ((1 << bimodalBits) - 1)
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (t *TAGE) Predict(pc uint64) bool {
+	t.predicts++
+	pred, _, _ := t.predictInternal(pc)
+	return pred
+}
+
+// predictInternal returns (prediction, provider table or -1 for bimodal,
+// provider entry index).
+func (t *TAGE) predictInternal(pc uint64) (bool, int, uint32) {
+	for table := 3; table >= 0; table-- {
+		idx := t.index(table, pc)
+		e := &t.tables[table][idx]
+		if e.tag == t.tag(table, pc) {
+			return e.ctr >= 0, table, idx
+		}
+	}
+	return t.bimodal[t.bimodalIdx(pc)] >= 0, -1, 0
+}
+
+// Update trains the predictor with the actual outcome and advances the GHR.
+// It must be called exactly once per dynamic branch, in program order.
+func (t *TAGE) Update(pc uint64, taken bool) {
+	pred, provider, pidx := t.predictInternal(pc)
+	if pred != taken {
+		t.mispredicts++
+	}
+
+	// Update the provider's counter.
+	if provider >= 0 {
+		e := &t.tables[provider][pidx]
+		if taken && e.ctr < ctrMax {
+			e.ctr++
+		} else if !taken && e.ctr > -ctrMax-1 {
+			e.ctr--
+		}
+		if pred == taken && e.useful < usefulMax {
+			e.useful++
+		} else if pred != taken && e.useful > 0 {
+			e.useful--
+		}
+	} else {
+		b := &t.bimodal[t.bimodalIdx(pc)]
+		if taken && *b < 1 {
+			*b++
+		} else if !taken && *b > -2 {
+			*b--
+		}
+	}
+
+	// On a mispredict, allocate an entry in a longer-history table.
+	if pred != taken && provider < 3 {
+		t.allocate(provider+1, pc, taken)
+	}
+
+	t.ghr = ((t.ghr << 1) | b2u(taken)) & ((1 << ghrBits) - 1)
+}
+
+func (t *TAGE) allocate(minTable int, pc uint64, taken bool) {
+	t.allocSeed = t.allocSeed*6364136223846793005 + 1442695040888963407
+	start := minTable
+	if start < 3 && t.allocSeed>>62 == 0 { // occasionally skip one table
+		start++
+	}
+	for table := start; table < 4; table++ {
+		idx := t.index(table, pc)
+		e := &t.tables[table][idx]
+		if e.useful == 0 {
+			e.tag = t.tag(table, pc)
+			e.useful = 0
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			return
+		}
+	}
+	// No victim: age the candidates so future allocations succeed.
+	for table := minTable; table < 4; table++ {
+		e := &t.tables[table][t.index(table, pc)]
+		if e.useful > 0 {
+			e.useful--
+		}
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy returns (predictions, mispredictions).
+func (t *TAGE) Accuracy() (uint64, uint64) { return t.predicts, t.mispredicts }
+
+// BTB is a 4-way set-associative branch target buffer mapping branch PCs to
+// predicted targets.
+type BTB struct {
+	sets  int
+	ways  int
+	tags  []uint64
+	tgts  []int
+	valid []bool
+	used  []uint64
+	clock uint64
+}
+
+// NewBTB returns a BTB with the given geometry (Table I: 512 sets, 4 ways).
+func NewBTB(sets, ways int) *BTB {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("bpred: BTB sets must be a positive power of two and ways positive")
+	}
+	n := sets * ways
+	return &BTB{
+		sets: sets, ways: ways,
+		tags: make([]uint64, n), tgts: make([]int, n),
+		valid: make([]bool, n), used: make([]uint64, n),
+	}
+}
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (int, bool) {
+	base := int(pc) % b.sets * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.clock++
+			b.used[i] = b.clock
+			return b.tgts[i], true
+		}
+	}
+	return 0, false
+}
+
+// Insert records pc → target, evicting the LRU way.
+func (b *BTB) Insert(pc uint64, target int) {
+	base := int(pc) % b.sets * b.ways
+	victim := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			victim = i
+			break
+		}
+		if !b.valid[i] {
+			victim = i
+			break
+		}
+		if b.used[i] < b.used[victim] {
+			victim = i
+		}
+	}
+	b.clock++
+	b.tags[victim] = pc
+	b.tgts[victim] = target
+	b.valid[victim] = true
+	b.used[victim] = b.clock
+}
+
+// Predictor bundles TAGE and the BTB into the front-end branch unit.
+type Predictor struct {
+	Dir *TAGE
+	BTB *BTB
+}
+
+// New returns the Table I predictor: TAGE + 512×4 BTB.
+func New() *Predictor {
+	return &Predictor{Dir: NewTAGE(), BTB: NewBTB(512, 4)}
+}
+
+// Predict returns (taken, target, targetKnown) for the branch at pc.
+// A branch predicted taken without a BTB target is treated as not-taken by
+// the fetch unit (it cannot redirect without a target).
+func (p *Predictor) Predict(pc uint64) (bool, int, bool) {
+	taken := p.Dir.Predict(pc)
+	tgt, ok := p.BTB.Lookup(pc)
+	return taken, tgt, ok
+}
+
+// Update trains both structures with the resolved branch.
+func (p *Predictor) Update(pc uint64, taken bool, target int) {
+	p.Dir.Update(pc, taken)
+	if taken {
+		p.BTB.Insert(pc, target)
+	}
+}

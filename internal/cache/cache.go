@@ -1,0 +1,283 @@
+// Package cache implements a set-associative, write-back, write-allocate
+// cache with MSHR-limited miss parallelism and an optional stride prefetcher
+// (see prefetch.go). Caches compose into a hierarchy through the Level
+// interface; internal/dram terminates the chain.
+//
+// Like the DRAM model, caches are "latency computing": an access performed
+// at CPU cycle `now` immediately returns its completion cycle while the tag,
+// LRU, MSHR and fill state advance. Misses to lines already in flight merge
+// into the outstanding fill (MSHR merge) rather than issuing twice.
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes throughout the hierarchy.
+const LineSize = 64
+
+// Level is anything that can service a line access: a Cache or a DRAM.
+type Level interface {
+	// Access requests the 64-byte line containing addr at CPU cycle now
+	// and returns the cycle the request completes.
+	Access(addr uint64, write bool, now uint64) uint64
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  uint64
+	Ways       int
+	HitLatency uint64
+	MSHRs      int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SizeBytes == 0 || c.SizeBytes%LineSize != 0 {
+		return fmt.Errorf("cache %s: size %d not a multiple of the line size", c.Name, c.SizeBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways must be positive", c.Name)
+	}
+	sets := c.SizeBytes / uint64(c.Ways) / LineSize
+	if sets == 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: derived set count %d not a power of two", c.Name, sets)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHRs must be positive", c.Name)
+	}
+	return nil
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64 // demand misses sent to the next level
+	MergedMiss  uint64 // demand accesses merged into in-flight fills
+	Writebacks  uint64
+	MSHRStalls  uint64 // misses delayed waiting for a free MSHR
+	Prefetches  uint64 // prefetch fills issued on behalf of this cache
+	PrefeHits   uint64 // demand hits on prefetched, not-yet-demanded lines
+	Evictions   uint64
+	WriteHits   uint64
+	WriteMisses uint64
+}
+
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	prefetch bool   // brought in by the prefetcher, not yet demanded
+	fillTime uint64 // cycle at which data becomes present
+	lastUsed uint64 // LRU timestamp
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg   Config
+	sets  uint64
+	lines []line // sets × ways
+	next  Level
+
+	// outstanding holds completion times of in-flight misses; its length
+	// is bounded by cfg.MSHRs. Entries older than "now" are reclaimed
+	// lazily on allocation.
+	outstanding []uint64
+
+	lruClock uint64
+	stats    Stats
+}
+
+// New builds a cache level in front of next.
+func New(cfg Config, next Level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: next level is nil", cfg.Name)
+	}
+	sets := cfg.SizeBytes / uint64(cfg.Ways) / LineSize
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		lines: make([]line, sets*uint64(cfg.Ways)),
+		next:  next,
+	}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config, next Level) *Cache {
+	c, err := New(cfg, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Name returns the configured level name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// HitLatency returns the configured hit latency.
+func (c *Cache) HitLatency() uint64 { return c.cfg.HitLatency }
+
+func (c *Cache) set(addr uint64) []line {
+	s := (addr / LineSize) & (c.sets - 1)
+	return c.lines[s*uint64(c.cfg.Ways) : (s+1)*uint64(c.cfg.Ways)]
+}
+
+func tagOf(addr uint64) uint64 { return addr / LineSize }
+
+// lookup returns the way holding addr, or nil.
+func (c *Cache) lookup(addr uint64) *line {
+	tag := tagOf(addr)
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim picks the LRU way of addr's set (preferring invalid ways).
+func (c *Cache) victim(addr uint64) *line {
+	set := c.set(addr)
+	v := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if set[i].lastUsed < v.lastUsed {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+// reserveMSHR returns the earliest cycle ≥ now at which an MSHR is
+// available, registering the new miss that will complete at a time the
+// caller later records via recordMiss.
+func (c *Cache) reserveMSHR(now uint64) uint64 {
+	// Reclaim completed entries.
+	live := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	c.outstanding = live
+	if len(c.outstanding) < c.cfg.MSHRs {
+		return now
+	}
+	// All MSHRs busy: wait for the earliest one.
+	c.stats.MSHRStalls++
+	earliest := c.outstanding[0]
+	idx := 0
+	for i, t := range c.outstanding {
+		if t < earliest {
+			earliest, idx = t, i
+		}
+	}
+	c.outstanding = append(c.outstanding[:idx], c.outstanding[idx+1:]...)
+	return earliest
+}
+
+func (c *Cache) recordMiss(done uint64) {
+	c.outstanding = append(c.outstanding, done)
+}
+
+// Access implements Level.
+func (c *Cache) Access(addr uint64, write bool, now uint64) uint64 {
+	c.lruClock++
+	if l := c.lookup(addr); l != nil {
+		l.lastUsed = c.lruClock
+		if write {
+			l.dirty = true
+			c.stats.WriteHits++
+		}
+		done := now + c.cfg.HitLatency
+		if l.fillTime > done {
+			// Line is in flight (prefetch or earlier miss): merge.
+			c.stats.MergedMiss++
+			done = l.fillTime
+		} else {
+			c.stats.Hits++
+			if l.prefetch {
+				c.stats.PrefeHits++
+				l.prefetch = false
+			}
+		}
+		return done
+	}
+
+	// Miss.
+	c.stats.Misses++
+	if write {
+		// Write-allocate through the store buffer: the line is fetched
+		// and installed dirty, but the write does not hold a demand
+		// MSHR (stores are fire-and-forget after commit).
+		c.stats.WriteMisses++
+		done := c.next.Access(addr, false, now+c.cfg.HitLatency)
+		c.install(addr, true, done, false)
+		return done
+	}
+	start := c.reserveMSHR(now + c.cfg.HitLatency)
+	done := c.next.Access(addr, false, start)
+	c.recordMiss(done)
+	c.install(addr, write, done, false)
+	return done
+}
+
+// install places addr's line into the cache with the given fill time,
+// evicting (and writing back) the victim.
+func (c *Cache) install(addr uint64, dirty bool, fillTime uint64, prefetch bool) {
+	v := c.victim(addr)
+	if v.valid {
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+			// Writebacks are fire-and-forget: charge next level
+			// without delaying the demand request.
+			c.next.Access(v.tag*LineSize, true, fillTime)
+		}
+	}
+	*v = line{
+		tag:      tagOf(addr),
+		valid:    true,
+		dirty:    dirty,
+		prefetch: prefetch,
+		fillTime: fillTime,
+		lastUsed: c.lruClock,
+	}
+}
+
+// Prefetch brings addr's line in without a demand request. It is a no-op if
+// the line is already present or no MSHR is immediately free (prefetches
+// never steal MSHRs from demand misses).
+func (c *Cache) Prefetch(addr uint64, now uint64) {
+	if c.lookup(addr) != nil {
+		return
+	}
+	// Only use spare MSHR capacity.
+	live := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	c.outstanding = live
+	if len(c.outstanding) >= c.cfg.MSHRs {
+		return
+	}
+	done := c.next.Access(addr, false, now+c.cfg.HitLatency)
+	c.recordMiss(done)
+	c.stats.Prefetches++
+	c.lruClock++
+	c.install(addr, false, done, true)
+}
+
+// Contains reports whether addr's line is resident (regardless of fill
+// time). Exposed for tests.
+func (c *Cache) Contains(addr uint64) bool { return c.lookup(addr) != nil }

@@ -1,0 +1,254 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fixedMem is a Level with constant latency, for isolating cache behaviour.
+type fixedMem struct {
+	latency  uint64
+	accesses int
+	writes   int
+}
+
+func (m *fixedMem) Access(addr uint64, write bool, now uint64) uint64 {
+	m.accesses++
+	if write {
+		m.writes++
+	}
+	return now + m.latency
+}
+
+func smallCache(t *testing.T, next Level) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "t", SizeBytes: 1024, Ways: 2, HitLatency: 4, MSHRs: 4}, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{Name: "ok", SizeBytes: 1024, Ways: 2, HitLatency: 1, MSHRs: 1}, true},
+		{Config{Name: "size0", SizeBytes: 0, Ways: 2, MSHRs: 1}, false},
+		{Config{Name: "badsize", SizeBytes: 100, Ways: 2, MSHRs: 1}, false},
+		{Config{Name: "ways0", SizeBytes: 1024, Ways: 0, MSHRs: 1}, false},
+		{Config{Name: "sets3", SizeBytes: 3 * 64 * 2, Ways: 2, MSHRs: 1}, false},
+		{Config{Name: "mshr0", SizeBytes: 1024, Ways: 2, MSHRs: 0}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.cfg.Name, err, tc.ok)
+		}
+	}
+	if _, err := New(Config{Name: "nil-next", SizeBytes: 1024, Ways: 2, HitLatency: 1, MSHRs: 1}, nil); err == nil {
+		t.Error("New with nil next accepted")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	m := &fixedMem{latency: 100}
+	c := smallCache(t, m)
+	d1 := c.Access(0x1000, false, 0)
+	if d1 < 100 {
+		t.Errorf("cold miss completed at %d, want ≥ 100", d1)
+	}
+	d2 := c.Access(0x1000, false, d1)
+	if d2 != d1+4 {
+		t.Errorf("hit completed at %d, want %d", d2, d1+4)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if m.accesses != 1 {
+		t.Errorf("next level accessed %d times, want 1", m.accesses)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	// A second access to an in-flight line merges instead of re-requesting.
+	m := &fixedMem{latency: 100}
+	c := smallCache(t, m)
+	d1 := c.Access(0x2000, false, 0)
+	d2 := c.Access(0x2000, false, 1) // while still in flight
+	if d2 != d1 {
+		t.Errorf("merged access completes at %d, want %d", d2, d1)
+	}
+	if m.accesses != 1 {
+		t.Errorf("next level accessed %d times, want 1 (merge)", m.accesses)
+	}
+	if c.Stats().MergedMiss != 1 {
+		t.Errorf("MergedMiss = %d, want 1", c.Stats().MergedMiss)
+	}
+}
+
+func TestMSHRLimitSerialises(t *testing.T) {
+	// With 4 MSHRs, the 5th concurrent miss must wait for the first to
+	// complete before its own miss latency begins.
+	m := &fixedMem{latency: 100}
+	c := smallCache(t, m)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		last = c.Access(uint64(0x10000+i*64), false, 0)
+	}
+	// First four misses: ≈ 4 + 100. Fifth: waits until ≈104, then +100.
+	if last < 200 {
+		t.Errorf("5th miss completed at %d, want ≥ 200 (MSHR stall)", last)
+	}
+	if c.Stats().MSHRStalls == 0 {
+		t.Error("no MSHR stalls recorded")
+	}
+}
+
+func TestEvictionAndWriteback(t *testing.T) {
+	m := &fixedMem{latency: 10}
+	c := smallCache(t, m) // 1024 B / 2 ways / 64 B = 8 sets
+	// Fill one set (2 ways map to the same set when addr diff = sets*64).
+	setStride := uint64(8 * 64)
+	c.Access(0x0, true, 0)            // dirty line
+	c.Access(setStride, false, 100)   // second way
+	c.Access(2*setStride, false, 200) // evicts LRU (the dirty one)
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Error("no evictions")
+	}
+	if s.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", s.Writebacks)
+	}
+	if m.writes != 1 {
+		t.Errorf("next-level writes = %d, want 1", m.writes)
+	}
+	if c.Contains(0x0) {
+		t.Error("evicted line still present")
+	}
+}
+
+func TestLRUKeepsHotLine(t *testing.T) {
+	m := &fixedMem{latency: 10}
+	c := smallCache(t, m)
+	setStride := uint64(8 * 64)
+	c.Access(0x0, false, 0)
+	c.Access(setStride, false, 20)
+	c.Access(0x0, false, 40)         // re-touch way 0
+	c.Access(2*setStride, false, 60) // should evict setStride, not 0x0
+	if !c.Contains(0x0) {
+		t.Error("hot line evicted")
+	}
+	if c.Contains(setStride) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestPrefetchInstallsLine(t *testing.T) {
+	m := &fixedMem{latency: 100}
+	c := smallCache(t, m)
+	c.Prefetch(0x4000, 0)
+	if !c.Contains(0x4000) {
+		t.Fatal("prefetched line absent")
+	}
+	// A demand access before fill time merges into the prefetch.
+	d := c.Access(0x4000, false, 1)
+	if d < 100 {
+		t.Errorf("demand on in-flight prefetch done at %d, want ≥ fill", d)
+	}
+	// A demand access after fill is a (prefetch) hit.
+	d2 := c.Access(0x4000, false, 500)
+	if d2 != 504 {
+		t.Errorf("post-fill hit done at %d, want 504", d2)
+	}
+	s := c.Stats()
+	if s.Prefetches != 1 || s.PrefeHits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPrefetchNeverStealsLastMSHR(t *testing.T) {
+	m := &fixedMem{latency: 1000}
+	c := smallCache(t, m)
+	for i := 0; i < 4; i++ { // exhaust the 4 MSHRs
+		c.Access(uint64(0x8000+i*64), false, 0)
+	}
+	c.Prefetch(0x9000, 1)
+	if c.Contains(0x9000) {
+		t.Error("prefetch issued with all MSHRs busy")
+	}
+	if c.Stats().Prefetches != 0 {
+		t.Error("prefetch counted despite MSHR pressure")
+	}
+}
+
+func TestCompletionNeverBeforeHitLatency(t *testing.T) {
+	m := &fixedMem{latency: 30}
+	c := smallCache(t, m)
+	now := uint64(0)
+	f := func(a uint16, gap uint8) bool {
+		addr := uint64(a) * LineSize
+		done := c.Access(addr, a%4 == 0, now)
+		ok := done >= now+c.HitLatency()
+		now += uint64(gap)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStridePrefetcherDetectsStride(t *testing.T) {
+	m := &fixedMem{latency: 50}
+	c := smallCache(t, m)
+	p := NewStridePrefetcher(16, 2, 2, c)
+	// Unit-stride stream from one PC: after confidence builds, lines ahead
+	// of the demand stream appear in the cache.
+	addr := uint64(0x10000)
+	for i := 0; i < 8; i++ {
+		p.Train(42, addr, uint64(i*10))
+		addr += LineSize
+	}
+	if p.Stats().Issues == 0 {
+		t.Fatal("prefetcher never issued")
+	}
+	if !c.Contains(addr) { // one line ahead of the last demand
+		t.Error("line ahead of stream not prefetched")
+	}
+}
+
+func TestStridePrefetcherResetsOnStrideChange(t *testing.T) {
+	m := &fixedMem{latency: 50}
+	c := smallCache(t, m)
+	p := NewStridePrefetcher(16, 2, 2, c)
+	p.Train(1, 0x1000, 0)
+	p.Train(1, 0x1040, 1)
+	p.Train(1, 0x2000, 2) // stride change
+	if p.Stats().Resets == 0 {
+		t.Error("stride change not recorded")
+	}
+}
+
+func TestStridePrefetcherRandomPCsDoNotCrash(t *testing.T) {
+	m := &fixedMem{latency: 50}
+	c := smallCache(t, m)
+	p := NewStridePrefetcher(8, 2, 1, c)
+	f := func(pc uint16, a uint32) bool {
+		p.Train(uint64(pc), uint64(a)*8, 0)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewStridePrefetcherPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two table")
+		}
+	}()
+	NewStridePrefetcher(3, 1, 1, nil)
+}

@@ -1,0 +1,151 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mdp"
+	"repro/internal/rename"
+	"repro/internal/sched"
+)
+
+func TestAllArchsBuildAtAllWidths(t *testing.T) {
+	for _, arch := range AllArchs() {
+		for _, w := range []int{2, 4, 8, 10} {
+			m, err := NewMachine(arch, w, Options{})
+			if err != nil {
+				t.Fatalf("%s @ %d-wide: %v", arch, w, err)
+			}
+			if err := m.Pipeline.Validate(); err != nil {
+				t.Fatalf("%s @ %d-wide: invalid pipeline: %v", arch, w, err)
+			}
+			rn := rename.MustNew(m.Pipeline.Rename)
+			md := mdp.New(m.Pipeline.MDP)
+			s := m.Factory(rn, md)
+			if s == nil {
+				t.Fatalf("%s @ %d-wide: nil scheduler", arch, w)
+			}
+			if s.Capacity() <= 0 {
+				t.Fatalf("%s @ %d-wide: capacity %d", arch, w, s.Capacity())
+			}
+		}
+	}
+}
+
+func TestUnknownArchAndWidthRejected(t *testing.T) {
+	if _, err := NewMachine("Nope", 8, Options{}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if _, err := NewMachine(ArchOoO, 7, Options{}); err == nil {
+		t.Error("width 7 accepted")
+	}
+}
+
+// TestTableIConfigs checks the headline Table I parameters at each width.
+func TestTableIConfigs(t *testing.T) {
+	cases := []struct {
+		width           int
+		rob, lq, sq     int
+		intRegs, fpRegs int
+		clock           float64
+	}{
+		{8, 224, 72, 56, 180, 168, 3.4},
+		{4, 128, 48, 32, 128, 96, 2.5},
+		{2, 48, 24, 16, 96, 96, 2.0},
+	}
+	for _, tc := range cases {
+		m := MustMachine(ArchOoO, tc.width, Options{})
+		p := m.Pipeline
+		if p.ROBSize != tc.rob || p.LQSize != tc.lq || p.SQSize != tc.sq {
+			t.Errorf("%d-wide ROB/LQ/SQ = %d/%d/%d", tc.width, p.ROBSize, p.LQSize, p.SQSize)
+		}
+		if p.Rename.IntRegs != tc.intRegs || p.Rename.FpRegs != tc.fpRegs {
+			t.Errorf("%d-wide PRF = %d int %d fp", tc.width, p.Rename.IntRegs, p.Rename.FpRegs)
+		}
+		if m.ClockGHz != tc.clock {
+			t.Errorf("%d-wide clock = %v", tc.width, m.ClockGHz)
+		}
+		if p.RecoveryPenalty != 11 {
+			t.Errorf("%d-wide recovery = %d", tc.width, p.RecoveryPenalty)
+		}
+	}
+	// InO overrides: 8-cycle recovery and small LSQ.
+	ino := MustMachine(ArchInO, 8, Options{})
+	if ino.Pipeline.RecoveryPenalty != 8 || ino.Pipeline.SQSize != 16 {
+		t.Errorf("InO overrides: recovery %d, SQ %d", ino.Pipeline.RecoveryPenalty, ino.Pipeline.SQSize)
+	}
+}
+
+// TestTableIIConfigs checks the 8-wide scheduling window configurations.
+func TestTableIIConfigs(t *testing.T) {
+	build := func(a Arch, opt Options) sched.Scheduler {
+		m := MustMachine(a, 8, opt)
+		rn := rename.MustNew(m.Pipeline.Rename)
+		return m.Factory(rn, mdp.New(m.Pipeline.MDP))
+	}
+	if c := build(ArchInO, Options{}).Capacity(); c != 96 {
+		t.Errorf("InO capacity = %d, want 96", c)
+	}
+	if c := build(ArchOoO, Options{}).Capacity(); c != 96 {
+		t.Errorf("OoO capacity = %d, want 96", c)
+	}
+	if c := build(ArchCES, Options{}).Capacity(); c != 8*12 {
+		t.Errorf("CES capacity = %d, want 96", c)
+	}
+	if c := build(ArchCASINO, Options{}).Capacity(); c != 8+40+40+8 {
+		t.Errorf("CASINO capacity = %d, want 96", c)
+	}
+	if c := build(ArchFXA, Options{}).Capacity(); c != 48 {
+		t.Errorf("FXA backend capacity = %d, want 48", c)
+	}
+	if c := build(ArchBallerino, Options{}).Capacity(); c != 8+7*12 {
+		t.Errorf("Ballerino capacity = %d, want 92", c)
+	}
+	if c := build(ArchBallerino12, Options{}).Capacity(); c != 8+11*12 {
+		t.Errorf("Ballerino-12 capacity = %d, want 140", c)
+	}
+}
+
+func TestOptionsOverrides(t *testing.T) {
+	m := MustMachine(ArchBallerino, 8, Options{NumPIQs: 9, PIQDepth: 6})
+	if m.NumPIQs != 9 || m.PIQDepth != 6 {
+		t.Errorf("overrides ignored: %d × %d", m.NumPIQs, m.PIQDepth)
+	}
+	rn := rename.MustNew(m.Pipeline.Rename)
+	s := m.Factory(rn, mdp.New(m.Pipeline.MDP))
+	if c := s.Capacity(); c != 8+9*6 {
+		t.Errorf("capacity = %d, want 62", c)
+	}
+	md := MustMachine(ArchOoO, 8, Options{DisableMDP: true})
+	if md.Pipeline.UseMDP {
+		t.Error("DisableMDP ignored")
+	}
+}
+
+func TestDVFSLevels(t *testing.T) {
+	ls := DVFSLevels()
+	if len(ls) != 4 || ls[0].Name != "L4" || ls[3].Name != "L1" {
+		t.Fatalf("levels = %+v", ls)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i].ClockGHz >= ls[i-1].ClockGHz || ls[i].VoltageV >= ls[i-1].VoltageV {
+			t.Errorf("levels not monotone: %+v", ls)
+		}
+	}
+}
+
+func TestCasinoSizesOverride(t *testing.T) {
+	m := MustMachine(ArchCASINO, 8, Options{CasinoSizes: []int{16, 80}})
+	s := m.Factory(rename.MustNew(m.Pipeline.Rename), mdp.New(m.Pipeline.MDP))
+	if c := s.Capacity(); c != 96 {
+		t.Errorf("capacity = %d, want 96", c)
+	}
+}
+
+func TestBallerinoOptionOverride(t *testing.T) {
+	m := MustMachine(ArchBallerino, 8, Options{Ballerino: &core.Options{}})
+	s := m.Factory(rename.MustNew(m.Pipeline.Rename), mdp.New(m.Pipeline.MDP))
+	if s.Name() != "Ballerino-step1" {
+		t.Errorf("override produced %q", s.Name())
+	}
+}

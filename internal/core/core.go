@@ -1,0 +1,356 @@
+// Package core implements Ballerino, the paper's contribution: balanced and
+// cache-miss-tolerable dynamic scheduling via cascaded and clustered
+// in-order issue queues (§III, §IV).
+//
+// The scheduler is a speculative in-order queue (S-IQ) in front of a
+// cluster of parallel in-order queues (P-IQs). Each cycle the S-IQ examines
+// a speculative scheduling window at its head: ready μops issue
+// immediately; non-ready μops are steered to the P-IQs along their M/R-
+// dependences. Two techniques extend the effective P-IQ count:
+//
+//   - M-dependence-aware steering (§III-B): a load predicted dependent on
+//     an in-flight store is steered into the producer store's P-IQ,
+//     following the LFST's producer-location extension.
+//   - P-IQ sharing (§III-C, §IV-D): when no empty P-IQ exists, a P-IQ whose
+//     head and tail pointers sit in the same physical half is split into
+//     two FIFO partitions, each holding a distinct dependence chain, with
+//     one active head per cycle.
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mdp"
+	"repro/internal/rename"
+	"repro/internal/sched"
+)
+
+// Options selects which Ballerino techniques are active, enabling the
+// step-by-step variants of Figure 13.
+type Options struct {
+	// MDASteering enables M-dependence-aware steering (Step 2).
+	MDASteering bool
+	// Sharing enables P-IQ sharing mode (Step 3).
+	Sharing bool
+	// IdealSharing removes the implementation constraints of §IV-D:
+	// sharing activates regardless of pointer locations and both
+	// partition heads may issue in the same cycle.
+	IdealSharing bool
+
+	// Ablation knobs (not part of the paper's design; used by the
+	// ablation harness to quantify the design choices).
+
+	// SIQFirstSelect inverts §IV-E's select priority: the S-IQ window's
+	// requests occupy the upper prefix-sum inputs instead of the P-IQ
+	// heads, so younger speculative μops beat older dependence heads.
+	SIQFirstSelect bool
+	// AlwaysSwitchHead replaces §IV-D's keep-on-issue pointer policy
+	// with unconditional alternation between partitions.
+	AlwaysSwitchHead bool
+}
+
+// Config sizes the scheduler. Table II 8-wide: 8-entry S-IQ examined 4 wide,
+// 7 × 12-entry P-IQs; Ballerino-12 uses 11 P-IQs.
+type Config struct {
+	SIQSize   int
+	SIQWindow int // μops examined per cycle (= rename width)
+	NumPIQs   int
+	PIQDepth  int
+	Width     int // issue width (number of ports)
+	Options   Options
+}
+
+// Ballerino implements sched.Scheduler.
+type Ballerino struct {
+	cfg Config
+	rn  *rename.Renamer
+	mdp *mdp.MDP
+
+	siq  []*sched.UOp
+	piqs []piq
+
+	events sched.EnergyEvents
+	ports  sched.PortMask
+
+	// Counters for Figures 6a, 13, 14.
+	issuedSIQ   uint64
+	issuedPIQ   uint64
+	steerM      uint64
+	steerDC     uint64
+	allocEmpty  uint64
+	allocShared uint64
+	steerStalls uint64 // cycles the S-IQ head blocked on steering
+	shareActs   uint64 // sharing-mode activations
+
+	headIssue    uint64
+	headStallM   uint64
+	headStallDep uint64
+	headEmpty    uint64
+}
+
+// New builds a Ballerino scheduler over the shared P-SCB (renamer) and MDP.
+func New(cfg Config, rn *rename.Renamer, m *mdp.MDP) *Ballerino {
+	if cfg.SIQSize <= 0 || cfg.NumPIQs <= 0 || cfg.PIQDepth < 2 || cfg.SIQWindow <= 0 {
+		panic("core: invalid Ballerino configuration")
+	}
+	b := &Ballerino{cfg: cfg, rn: rn, mdp: m, piqs: make([]piq, cfg.NumPIQs)}
+	for i := range b.piqs {
+		b.piqs[i].init(cfg.PIQDepth)
+	}
+	return b
+}
+
+// Name implements sched.Scheduler.
+func (b *Ballerino) Name() string {
+	switch {
+	case b.cfg.Options.IdealSharing:
+		return "Ballerino-ideal"
+	case b.cfg.Options.Sharing:
+		return "Ballerino"
+	case b.cfg.Options.MDASteering:
+		return "Ballerino-step2"
+	default:
+		return "Ballerino-step1"
+	}
+}
+
+// Capacity implements sched.Scheduler.
+func (b *Ballerino) Capacity() int {
+	return b.cfg.SIQSize + b.cfg.NumPIQs*b.cfg.PIQDepth
+}
+
+// Occupancy implements sched.Scheduler.
+func (b *Ballerino) Occupancy() int {
+	n := len(b.siq)
+	for i := range b.piqs {
+		n += b.piqs[i].len()
+	}
+	return n
+}
+
+// Dispatch implements sched.Scheduler: μops enter the S-IQ in program order.
+func (b *Ballerino) Dispatch(u *sched.UOp, _ uint64) bool {
+	if len(b.siq) >= b.cfg.SIQSize {
+		return false
+	}
+	b.siq = append(b.siq, u)
+	b.events.QueueWrites++
+	return true
+}
+
+// locCode encodes (P-IQ index, partition) into the producer-location value
+// stored in P-SCB and LFST entries.
+func locCode(iq, part int) int  { return iq*2 + part }
+func locIQ(code int) int        { return code / 2 }
+func locPartition(code int) int { return code % 2 }
+
+// Issue implements sched.Scheduler. P-IQ head requests occupy the upper
+// prefix-sum inputs (§IV-E), so they are granted before S-IQ requests.
+func (b *Ballerino) Issue(cycle uint64, ctx *sched.IssueCtx) {
+	b.events.SelectInputs += uint64(b.cfg.Width * (b.cfg.NumPIQs + b.cfg.SIQWindow))
+	b.ports.Reset()
+	portUsed := &b.ports
+
+	if b.cfg.Options.SIQFirstSelect {
+		b.examineSIQ(cycle, ctx, portUsed)
+		b.issuePIQHeads(cycle, ctx, portUsed)
+		return
+	}
+	b.issuePIQHeads(cycle, ctx, portUsed)
+	b.examineSIQ(cycle, ctx, portUsed)
+}
+
+// issuePIQHeads examines each P-IQ's active dependence head.
+func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *sched.PortMask) {
+	for i := range b.piqs {
+		q := &b.piqs[i]
+		heads := q.activeHeads(b.cfg.Options.IdealSharing)
+		if len(heads) == 0 {
+			b.headEmpty++
+			continue
+		}
+		issuedAny := false
+		for _, part := range heads {
+			u := q.headOf(part)
+			b.events.QueueReads++
+			b.events.PSCBReads += 2
+			if portUsed.Used(u.Port) {
+				b.headStallDep++
+				continue
+			}
+			if !ctx.Ready(u) {
+				if u.MDPWait != mdp.NoStore {
+					b.headStallM++
+				} else {
+					b.headStallDep++
+				}
+				continue
+			}
+			ctx.Grant(u)
+			b.events.PayloadReads++
+			portUsed.Set(u.Port)
+			q.popHead(part)
+			b.issuedPIQ++
+			b.headIssue++
+			issuedAny = true
+		}
+		q.endCyclePolicy(issuedAny, b.cfg.Options.AlwaysSwitchHead)
+	}
+}
+
+// examineSIQ walks the speculative scheduling window at the S-IQ head,
+// exactly one decision per examined μop (§IV-C, Figure 8): ready μops send
+// issue requests (granted unless their port is taken — then steered as
+// case 3); non-ready μops are steered to the P-IQs along their M/R-
+// dependences. A steering failure stalls the window at that μop.
+func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sched.PortMask) {
+	examine := b.cfg.SIQWindow
+	if len(b.siq) < examine {
+		examine = len(b.siq)
+	}
+	removed := 0
+	for n := 0; n < examine; n++ {
+		u := b.siq[n]
+		b.events.QueueReads++
+		b.events.PSCBReads += 2
+
+		if ctx.Ready(u) && !portUsed.Used(u.Port) {
+			ctx.Grant(u)
+			b.events.PayloadReads++
+			portUsed.Set(u.Port)
+			b.issuedSIQ++
+			removed++
+			continue
+		}
+		// Not ready (or §IV-C case 3: ready but its port is taken):
+		// steer to the P-IQs; a failure blocks the window here.
+		if b.steer(u) {
+			removed++
+			continue
+		}
+		b.steerStalls++
+		break
+	}
+	if removed > 0 {
+		b.siq = b.siq[removed:]
+	}
+}
+
+// steer places u into a P-IQ following M-dependences, then R-dependences,
+// then allocating an empty queue, then (Step 3) activating sharing mode.
+// It reports false when every option is exhausted — the steering stall.
+func (b *Ballerino) steer(u *sched.UOp) bool {
+	b.events.SteerOps++
+
+	// 1) M-dependence-aware steering: follow the producer store (§III-B).
+	if b.cfg.Options.MDASteering && u.D.Op.IsMem() && u.SSID >= 0 {
+		if code, reserved, ok := b.mdp.ProducerLocation(u.SSID); ok && !reserved {
+			iq, part := locIQ(code), locPartition(code)
+			if iq < len(b.piqs) && b.piqs[iq].canAppend(part) {
+				b.mdp.ReserveProducer(u.SSID)
+				b.enqueue(iq, part, u)
+				b.steerM++
+				return true
+			}
+		}
+	}
+
+	// 2) R-dependence steering: follow a producer at an unreserved tail.
+	for _, src := range u.Src {
+		code, reserved, ok := b.rn.ProducerIQ(src)
+		if !ok || reserved {
+			continue
+		}
+		iq, part := locIQ(code), locPartition(code)
+		if iq < len(b.piqs) && b.piqs[iq].canAppend(part) {
+			b.rn.ReserveProducer(src)
+			b.enqueue(iq, part, u)
+			b.steerDC++
+			return true
+		}
+	}
+
+	// 3) New dependence head: an empty P-IQ.
+	for i := range b.piqs {
+		if b.piqs[i].len() == 0 {
+			b.enqueue(i, 0, u)
+			b.allocEmpty++
+			return true
+		}
+	}
+
+	// 4) Sharing mode (Step 3): split an eligible P-IQ. Prefer queues
+	// whose head did not issue last cycle — their read port was idle, so
+	// sharing costs the resident chain nothing (§III-C: sharing targets
+	// chains stalled on long-latency loads). The ideal variant shares any
+	// queue.
+	if b.cfg.Options.Sharing || b.cfg.Options.IdealSharing {
+		for i := range b.piqs {
+			if !b.cfg.Options.IdealSharing && b.piqs[i].lastIssued {
+				continue
+			}
+			if part, ok := b.piqs[i].activateSharing(b.cfg.Options.IdealSharing); ok {
+				b.shareActs++
+				b.enqueue(i, part, u)
+				b.allocShared++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enqueue appends u to partition part of P-IQ iq and publishes the
+// producer location to the P-SCB (and, for stores, the LFST).
+func (b *Ballerino) enqueue(iq, part int, u *sched.UOp) {
+	b.piqs[iq].append(part, u)
+	b.events.QueueWrites++
+	code := locCode(iq, part)
+	if u.Dst != rename.PhysNone {
+		b.rn.SetProducerIQ(u.Dst, code)
+		b.events.PSCBWrites++
+	}
+	if b.cfg.Options.MDASteering && u.D.Op == isa.OpStore && u.SSID >= 0 {
+		b.mdp.SetProducerLocation(u.SSID, u.Seq(), code)
+	}
+}
+
+// Complete implements sched.Scheduler. Readiness propagates through the
+// P-SCB; there is no CAM broadcast.
+func (b *Ballerino) Complete(rename.PhysReg, uint64) {}
+
+// Flush implements sched.Scheduler.
+func (b *Ballerino) Flush(seq uint64) {
+	for i, u := range b.siq {
+		if u.Seq() >= seq {
+			b.siq = b.siq[:i]
+			break
+		}
+	}
+	for i := range b.piqs {
+		b.piqs[i].flushFrom(seq)
+	}
+}
+
+// Energy implements sched.Scheduler.
+func (b *Ballerino) Energy() sched.EnergyEvents { return b.events }
+
+// Counters implements sched.Scheduler.
+func (b *Ballerino) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"issued":          b.issuedSIQ + b.issuedPIQ,
+		"issued_siq":      b.issuedSIQ,
+		"issued_piq":      b.issuedPIQ,
+		"steer_m":         b.steerM,
+		"steer_dc":        b.steerDC,
+		"alloc_empty":     b.allocEmpty,
+		"alloc_shared":    b.allocShared,
+		"steer_stalls":    b.steerStalls,
+		"share_activates": b.shareActs,
+		"head_issue":      b.headIssue,
+		"head_stall_mdep": b.headStallM,
+		"head_stall_dep":  b.headStallDep,
+		"head_empty":      b.headEmpty,
+	}
+}
+
+var _ sched.Scheduler = (*Ballerino)(nil)

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"repro/internal/sched"
+)
+
+// piq is one parallel in-order queue with the two operating modes of §IV-D:
+//
+//   - normal mode: a single circular FIFO over the whole buffer (one
+//     head/tail pointer pair, parts[0] covering [0, cap));
+//   - sharing mode: the buffer is split into two equal physical halves,
+//     each an independent FIFO partition with its own head/tail pointers.
+//
+// Sharing activates only when the queue's occupied slots lie within one
+// physical half (the "same half" pointer constraint), and — in the
+// non-ideal design — only one partition's head is examined per cycle.
+type piq struct {
+	buf []*sched.UOp
+	cap int
+
+	sharing bool
+	parts   [2]part
+
+	active     int  // partition whose head is examined (sharing mode)
+	lastIssued bool // whether any head issued last cycle
+}
+
+// part is one FIFO partition over buf[base : base+size).
+type part struct {
+	base, size  int
+	head, count int // head is an offset within the region
+}
+
+func (q *piq) init(capacity int) {
+	if capacity < 2 || capacity%2 != 0 {
+		panic("core: P-IQ depth must be an even number ≥ 2")
+	}
+	q.buf = make([]*sched.UOp, capacity)
+	q.cap = capacity
+	q.reset()
+}
+
+// reset returns to empty normal mode.
+func (q *piq) reset() {
+	q.sharing = false
+	q.parts[0] = part{base: 0, size: q.cap}
+	q.parts[1] = part{}
+	q.active = 0
+	q.lastIssued = false
+}
+
+func (q *piq) len() int { return q.parts[0].count + q.parts[1].count }
+
+func (p *part) slot(i int) int { return p.base + (p.head+i)%p.size }
+
+// canAppend reports whether partition part can accept one more μop.
+func (q *piq) canAppend(partIdx int) bool {
+	if !q.sharing && partIdx != 0 {
+		return false
+	}
+	p := &q.parts[partIdx]
+	return p.size > 0 && p.count < p.size
+}
+
+// append pushes u at the tail of the given partition.
+func (q *piq) append(partIdx int, u *sched.UOp) {
+	if !q.canAppend(partIdx) {
+		panic("core: append to full P-IQ partition")
+	}
+	p := &q.parts[partIdx]
+	q.buf[p.slot(p.count)] = u
+	p.count++
+}
+
+// headOf returns the μop at the head of partition part.
+func (q *piq) headOf(partIdx int) *sched.UOp {
+	p := &q.parts[partIdx]
+	return q.buf[p.slot(0)]
+}
+
+// popHead removes the head of partition part. Collapsing a drained
+// partition is deferred to endCycle so that callers iterating over the
+// partitions within one cycle see a stable layout.
+func (q *piq) popHead(partIdx int) {
+	p := &q.parts[partIdx]
+	q.buf[p.slot(0)] = nil
+	p.head = (p.head + 1) % p.size
+	p.count--
+}
+
+// activeHeads lists the partitions whose heads are examined this cycle:
+// the single FIFO head in normal mode, the active partition in sharing
+// mode, or every non-empty partition in the ideal design.
+func (q *piq) activeHeads(ideal bool) []int {
+	if q.len() == 0 {
+		return nil
+	}
+	if !q.sharing {
+		return []int{0}
+	}
+	if ideal {
+		var hs []int
+		for i := range q.parts {
+			if q.parts[i].count > 0 {
+				hs = append(hs, i)
+			}
+		}
+		return hs
+	}
+	if q.parts[q.active].count == 0 {
+		q.active = 1 - q.active
+	}
+	return []int{q.active}
+}
+
+// endCycle applies the §IV-D head-pointer policy: keep the active head
+// after an issue (back-to-back single-cycle chains), otherwise give the
+// other dependence chain its opportunity. forceSwitch (ablation) alternates
+// unconditionally.
+func (q *piq) endCycle(issued bool) { q.endCyclePolicy(issued, false) }
+
+func (q *piq) endCyclePolicy(issued, forceSwitch bool) {
+	q.lastIssued = issued
+	if !q.sharing {
+		return
+	}
+	q.maybeCollapse()
+	if !q.sharing {
+		return
+	}
+	if (forceSwitch || !issued) && q.parts[1-q.active].count > 0 {
+		q.active = 1 - q.active
+	}
+}
+
+// shareable reports whether the normal-mode queue satisfies the same-half
+// pointer constraint: occupied slots all within one physical half.
+func (q *piq) shareable() bool {
+	if q.sharing {
+		return false
+	}
+	p := &q.parts[0]
+	if p.count == 0 || p.count > q.cap/2 {
+		return false
+	}
+	half := q.cap / 2
+	first := p.slot(0)
+	last := p.slot(p.count - 1)
+	return first/half == last/half && first <= last
+}
+
+// activateSharing tries to open a partition for a new dependence chain.
+// It returns the partition index to append into. In sharing mode an
+// already-drained partition is reused directly.
+func (q *piq) activateSharing(ideal bool) (int, bool) {
+	if q.sharing {
+		for i := range q.parts {
+			if q.parts[i].count == 0 {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	half := q.cap / 2
+	p := &q.parts[0]
+	switch {
+	case q.shareable():
+		occupiedHalf := p.slot(0) / half
+		q.sharing = true
+		q.parts[0] = part{base: occupiedHalf * half, size: half, head: p.slot(0) - occupiedHalf*half, count: p.count}
+		q.parts[1] = part{base: (1 - occupiedHalf) * half, size: half}
+		q.active = 0
+		return 1, true
+	case ideal && p.count <= half:
+		// Ideal design: compact the contents into the first half,
+		// ignoring pointer locations.
+		var tmp []*sched.UOp
+		for i := 0; i < p.count; i++ {
+			tmp = append(tmp, q.buf[p.slot(i)])
+		}
+		for i := range q.buf {
+			q.buf[i] = nil
+		}
+		copy(q.buf, tmp)
+		q.sharing = true
+		q.parts[0] = part{base: 0, size: half, count: len(tmp)}
+		q.parts[1] = part{base: half, size: half}
+		q.active = 0
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// maybeCollapse reverts to normal mode when sharing is no longer needed:
+// both partitions empty, or one empty while the survivor's contents are
+// contiguous (so a single full-buffer FIFO can take over).
+func (q *piq) maybeCollapse() {
+	if !q.sharing {
+		return
+	}
+	c0, c1 := q.parts[0].count, q.parts[1].count
+	if c0 == 0 && c1 == 0 {
+		q.reset()
+		return
+	}
+	if c0 != 0 && c1 != 0 {
+		return
+	}
+	survivor := 0
+	if c0 == 0 {
+		survivor = 1
+	}
+	p := &q.parts[survivor]
+	if p.head+p.count > p.size {
+		return // wrapped within its region; cannot express in normal mode yet
+	}
+	abs := p.base + p.head
+	count := p.count
+	q.sharing = false
+	q.parts[0] = part{base: 0, size: q.cap, head: abs, count: count}
+	q.parts[1] = part{}
+	q.active = 0
+}
+
+// flushFrom drops all μops with seq ≥ bound from both partitions (each
+// partition holds μops in program order, so this truncates suffixes).
+func (q *piq) flushFrom(bound uint64) {
+	for pi := range q.parts {
+		p := &q.parts[pi]
+		for i := 0; i < p.count; i++ {
+			if q.buf[p.slot(i)].Seq() >= bound {
+				for j := i; j < p.count; j++ {
+					q.buf[p.slot(j)] = nil
+				}
+				p.count = i
+				break
+			}
+		}
+	}
+	if q.sharing {
+		q.maybeCollapse()
+	}
+}

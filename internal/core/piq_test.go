@@ -1,0 +1,345 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+func uop(seq uint64) *sched.UOp {
+	return &sched.UOp{D: &isa.DynInst{Seq: seq, Op: isa.OpIntALU}}
+}
+
+func newPIQ(t *testing.T, depth int) *piq {
+	t.Helper()
+	q := &piq{}
+	q.init(depth)
+	return q
+}
+
+func TestPIQInitPanicsOnOddDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd depth accepted")
+		}
+	}()
+	newPIQ(t, 7)
+}
+
+func TestPIQFIFOOrder(t *testing.T) {
+	q := newPIQ(t, 8)
+	for i := uint64(0); i < 5; i++ {
+		if !q.canAppend(0) {
+			t.Fatalf("append %d refused", i)
+		}
+		q.append(0, uop(i))
+	}
+	for i := uint64(0); i < 5; i++ {
+		if got := q.headOf(0).Seq(); got != i {
+			t.Fatalf("head = %d, want %d", got, i)
+		}
+		q.popHead(0)
+	}
+	if q.len() != 0 {
+		t.Errorf("len = %d after drain", q.len())
+	}
+}
+
+func TestPIQWrapAround(t *testing.T) {
+	q := newPIQ(t, 4)
+	seq := uint64(0)
+	// Interleave pushes and pops to exercise wrap.
+	for round := 0; round < 10; round++ {
+		for q.canAppend(0) {
+			q.append(0, uop(seq))
+			seq++
+		}
+		q.popHead(0)
+		q.popHead(0)
+	}
+	// Remaining entries must still be in order.
+	prev := uint64(0)
+	first := true
+	for q.len() > 0 {
+		s := q.headOf(0).Seq()
+		if !first && s <= prev {
+			t.Fatalf("order violated: %d after %d", s, prev)
+		}
+		prev, first = s, false
+		q.popHead(0)
+	}
+}
+
+func TestPIQCapacity(t *testing.T) {
+	q := newPIQ(t, 4)
+	for i := uint64(0); i < 4; i++ {
+		q.append(0, uop(i))
+	}
+	if q.canAppend(0) {
+		t.Error("full queue accepts appends")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("append to full queue did not panic")
+		}
+	}()
+	q.append(0, uop(99))
+}
+
+func TestShareableRequiresSameHalf(t *testing.T) {
+	q := newPIQ(t, 8)
+	if q.shareable() {
+		t.Error("empty queue shareable")
+	}
+	q.append(0, uop(0))
+	q.append(0, uop(1))
+	if !q.shareable() { // slots 0,1: first half
+		t.Error("two entries in first half not shareable")
+	}
+	q.append(0, uop(2))
+	q.append(0, uop(3))
+	q.append(0, uop(4)) // slots 0..4 span halves
+	if q.shareable() {
+		t.Error("5 entries (> half) shareable")
+	}
+	// Drain to slots 3,4: spans the half boundary.
+	q.popHead(0)
+	q.popHead(0)
+	q.popHead(0)
+	if q.shareable() {
+		t.Error("entries straddling halves shareable")
+	}
+	// Drain to slot 4 only: second half.
+	q.popHead(0)
+	if !q.shareable() {
+		t.Error("single entry in second half not shareable")
+	}
+}
+
+func TestActivateSharingAndPartitionedFIFO(t *testing.T) {
+	q := newPIQ(t, 8)
+	q.append(0, uop(0))
+	q.append(0, uop(1))
+	part, ok := q.activateSharing(false)
+	if !ok || part != 1 {
+		t.Fatalf("activateSharing = %d,%v", part, ok)
+	}
+	if !q.sharing {
+		t.Fatal("sharing flag not set")
+	}
+	q.append(1, uop(10))
+	q.append(1, uop(11))
+	if q.len() != 4 {
+		t.Fatalf("len = %d", q.len())
+	}
+	// Partitions are independent FIFOs.
+	if q.headOf(0).Seq() != 0 || q.headOf(1).Seq() != 10 {
+		t.Error("partition heads wrong")
+	}
+	// Partition capacity is half the queue.
+	q.append(1, uop(12))
+	q.append(1, uop(13))
+	if q.canAppend(1) {
+		t.Error("partition exceeds half capacity")
+	}
+	if !q.canAppend(0) { // partition 0 has 2 of 4 slots
+		t.Error("partition 0 refuses appends")
+	}
+}
+
+func TestSharingNotActivatableWhenStraddling(t *testing.T) {
+	q := newPIQ(t, 8)
+	for i := uint64(0); i < 5; i++ {
+		q.append(0, uop(i))
+	}
+	q.popHead(0)
+	q.popHead(0) // slots 2,3,4: straddles
+	if _, ok := q.activateSharing(false); ok {
+		t.Error("sharing activated despite straddling contents")
+	}
+	// The ideal design compacts and shares anyway.
+	if _, ok := q.activateSharing(true); !ok {
+		t.Error("ideal sharing refused compactable queue")
+	}
+	// Contents preserved in order after compaction.
+	want := uint64(2)
+	for q.parts[0].count > 0 {
+		if got := q.headOf(0).Seq(); got != want {
+			t.Fatalf("after compact: head=%d want=%d", got, want)
+		}
+		q.popHead(0)
+		want++
+	}
+}
+
+func TestCollapseWhenPartitionDrains(t *testing.T) {
+	q := newPIQ(t, 8)
+	q.append(0, uop(0))
+	part, _ := q.activateSharing(false)
+	q.append(part, uop(10))
+	q.append(part, uop(11))
+	// Drain partition 0 → collapse (at end of cycle) back to normal mode
+	// with partition 1's contents (contiguous in its half).
+	q.popHead(0)
+	q.endCycle(true)
+	if q.sharing {
+		t.Fatal("did not collapse after drain")
+	}
+	if q.len() != 2 || q.headOf(0).Seq() != 10 {
+		t.Fatalf("collapsed contents wrong: len=%d head=%d", q.len(), q.headOf(0).Seq())
+	}
+	// Full capacity available again.
+	for i := uint64(20); q.canAppend(0); i++ {
+		q.append(0, uop(i))
+	}
+	if q.len() != 8 {
+		t.Errorf("capacity after collapse = %d, want 8", q.len())
+	}
+}
+
+func TestReuseDrainedPartitionWhileSharing(t *testing.T) {
+	q := newPIQ(t, 8)
+	q.append(0, uop(0))
+	part, _ := q.activateSharing(false)
+	q.append(part, uop(10))
+	// Drain partition 1 mid-cycle: before endCycle the queue is still in
+	// sharing mode and the drained partition is reusable for a new chain.
+	q.popHead(part)
+	if !q.sharing {
+		t.Fatal("collapsed before endCycle")
+	}
+	got, ok := q.activateSharing(false)
+	if !ok || got != part {
+		t.Errorf("drained partition not reused: got %d,%v", got, ok)
+	}
+}
+
+func TestActiveHeadPolicy(t *testing.T) {
+	q := newPIQ(t, 8)
+	q.append(0, uop(0))
+	part, _ := q.activateSharing(false)
+	q.append(part, uop(10))
+
+	heads := q.activeHeads(false)
+	if len(heads) != 1 {
+		t.Fatalf("non-ideal active heads = %v", heads)
+	}
+	first := heads[0]
+	// No issue this cycle → switch to the other partition.
+	q.endCycle(false)
+	heads = q.activeHeads(false)
+	if len(heads) != 1 || heads[0] == first {
+		t.Errorf("head did not switch after a no-issue cycle: %v", heads)
+	}
+	// Issue → keep the pointer.
+	q.endCycle(true)
+	heads2 := q.activeHeads(false)
+	if heads2[0] != heads[0] {
+		t.Errorf("head switched after an issue")
+	}
+}
+
+func TestIdealExaminesBothHeads(t *testing.T) {
+	q := newPIQ(t, 8)
+	q.append(0, uop(0))
+	part, _ := q.activateSharing(true)
+	q.append(part, uop(10))
+	if heads := q.activeHeads(true); len(heads) != 2 {
+		t.Errorf("ideal active heads = %v, want both", heads)
+	}
+}
+
+func TestFlushFromTruncatesPartitions(t *testing.T) {
+	q := newPIQ(t, 8)
+	q.append(0, uop(0))
+	q.append(0, uop(5))
+	part, _ := q.activateSharing(false)
+	q.append(part, uop(3))
+	q.append(part, uop(7))
+	q.flushFrom(5) // drops seq 5 and 7
+	if q.len() != 2 {
+		t.Fatalf("len after flush = %d, want 2", q.len())
+	}
+	var seqs []uint64
+	for pi := 0; pi < 2; pi++ {
+		p := q.parts[pi]
+		for i := 0; i < p.count; i++ {
+			seqs = append(seqs, q.buf[p.slot(i)].Seq())
+		}
+	}
+	for _, s := range seqs {
+		if s >= 5 {
+			t.Errorf("seq %d survived flush", s)
+		}
+	}
+}
+
+func TestFlushToEmptyResets(t *testing.T) {
+	q := newPIQ(t, 8)
+	q.append(0, uop(4))
+	part, _ := q.activateSharing(false)
+	q.append(part, uop(6))
+	q.flushFrom(0)
+	if q.len() != 0 || q.sharing {
+		t.Errorf("flush-to-empty: len=%d sharing=%v", q.len(), q.sharing)
+	}
+	// Queue must be fully usable again.
+	for i := uint64(0); i < 8; i++ {
+		if !q.canAppend(0) {
+			t.Fatalf("append %d refused after reset", i)
+		}
+		q.append(0, uop(i))
+	}
+}
+
+// TestPartitionsNeverOverlap is the DESIGN.md §6 invariant: across random
+// operations, the two partitions never claim the same buffer slot.
+func TestPartitionsNeverOverlap(t *testing.T) {
+	q := newPIQ(t, 8)
+	seed := uint64(99)
+	rnd := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % n
+	}
+	seq := uint64(0)
+	for step := 0; step < 20000; step++ {
+		switch rnd(4) {
+		case 0:
+			p := rnd(2)
+			if q.canAppend(p) {
+				q.append(p, uop(seq))
+				seq++
+			}
+		case 1:
+			if hs := q.activeHeads(false); len(hs) > 0 {
+				q.popHead(hs[0])
+			}
+		case 2:
+			q.activateSharing(rnd(2) == 0)
+		case 3:
+			q.endCycle(rnd(2) == 0)
+		}
+		// Invariant: slot occupancy equals the partition counts, and no
+		// slot is claimed twice.
+		claimed := map[int]bool{}
+		total := 0
+		for pi := range q.parts {
+			p := q.parts[pi]
+			for i := 0; i < p.count; i++ {
+				s := p.slot(i)
+				if claimed[s] {
+					t.Fatalf("step %d: slot %d claimed twice", step, s)
+				}
+				if q.buf[s] == nil {
+					t.Fatalf("step %d: claimed slot %d is nil", step, s)
+				}
+				claimed[s] = true
+				total++
+			}
+		}
+		if total != q.len() {
+			t.Fatalf("step %d: len mismatch", step)
+		}
+	}
+}

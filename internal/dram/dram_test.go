@@ -1,0 +1,174 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Banks = 3
+	if bad.Validate() == nil {
+		t.Error("Banks=3 accepted")
+	}
+	bad = DefaultConfig()
+	bad.RowBytes = 1000
+	if bad.Validate() == nil {
+		t.Error("RowBytes=1000 accepted")
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+// sameBankNewRow finds an address mapping to addr 0's bank but a new row
+// (bank indices are hashed, so the test searches).
+func sameBankNewRow(d *DRAM) uint64 {
+	for a := d.cfg.RowBytes; ; a += d.cfg.RowBytes {
+		if d.bankOf(a) == d.bankOf(0) && d.rowOf(a) != d.rowOf(0) {
+			return a
+		}
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	conflictAddr := sameBankNewRow(d)
+	t0 := d.Access(0, false, 0)                            // row miss (closed)
+	t1 := d.Access(64, false, t0) - t0                     // row hit, same row
+	t2 := d.Access(conflictAddr, false, t0+t1) - (t0 + t1) // conflict: same bank, new row
+	if t1 >= t0 {
+		t.Errorf("row hit (%d) not faster than cold miss (%d)", t1, t0)
+	}
+	if t2 <= t1 {
+		t.Errorf("row conflict (%d) not slower than row hit (%d)", t2, t1)
+	}
+	s := d.Stats()
+	if s.RowMisses != 1 || s.RowHits != 1 || s.RowConflicts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	// Two requests to different banks should overlap: the second completes
+	// much sooner than 2× a serial pair to the same bank.
+	cfg := DefaultConfig()
+	dSame := MustNew(cfg)
+	conflictAddr := sameBankNewRow(dSame)
+	a1 := dSame.Access(0, false, 0)
+	a2 := dSame.Access(conflictAddr, false, 0) // same bank, conflicting row
+
+	dDiff := MustNew(cfg)
+	var otherBank uint64
+	for a := cfg.RowBytes; ; a += cfg.RowBytes {
+		if dDiff.bankOf(a) != dDiff.bankOf(0) {
+			otherBank = a
+			break
+		}
+	}
+	b1 := dDiff.Access(0, false, 0)
+	b2 := dDiff.Access(otherBank, false, 0)
+	if b1 != a1 {
+		t.Fatalf("first access latency differs: %d vs %d", b1, a1)
+	}
+	if b2 >= a2 {
+		t.Errorf("bank-parallel second access (%d) not faster than same-bank (%d)", b2, a2)
+	}
+}
+
+func TestBusSerialisation(t *testing.T) {
+	// Many simultaneous requests to different banks still serialise on the
+	// data bus: completion times must be distinct and spaced ≥ TBurst.
+	cfg := DefaultConfig()
+	d := MustNew(cfg)
+	var times []uint64
+	for i := 0; i < cfg.Banks; i++ {
+		times = append(times, d.Access(uint64(i)*cfg.RowBytes, false, 0))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1]+cfg.TBurst {
+			t.Fatalf("accesses %d,%d complete %d,%d apart < TBurst", i-1, i, times[i-1], times[i])
+		}
+	}
+}
+
+func TestMonotoneCompletion(t *testing.T) {
+	// Property: completion ≥ now + MinLatency for any request stream fed
+	// in time order.
+	d := MustNew(DefaultConfig())
+	now := uint64(0)
+	f := func(addrSeed uint32, gap uint8) bool {
+		addr := uint64(addrSeed) * 64
+		done := d.Access(addr, addrSeed%3 == 0, now)
+		ok := done >= now+d.MinLatency()
+		now += uint64(gap)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCounted(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	d.Access(0, true, 0)
+	d.Access(64, false, 100)
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStreamingMostlyRowHits(t *testing.T) {
+	// A unit-stride sweep within one row should be nearly all row hits.
+	cfg := DefaultConfig()
+	d := MustNew(cfg)
+	now := uint64(0)
+	for a := uint64(0); a < cfg.RowBytes; a += 64 {
+		now = d.Access(a, false, now)
+	}
+	s := d.Stats()
+	if s.RowHits < s.RowMisses+s.RowConflicts {
+		t.Errorf("streaming sweep not row-hit dominated: %+v", s)
+	}
+}
+
+func TestMultiChannelParallelism(t *testing.T) {
+	// Adjacent lines map to different channels at Channels=2, so a pair
+	// of simultaneous requests completes sooner than on one channel.
+	one := DefaultConfig()
+	two := DefaultConfig()
+	two.Channels = 2
+	d1, d2 := MustNew(one), MustNew(two)
+
+	// Two back-to-back lines: same bank+row on the 1-channel device.
+	l1a := d1.Access(0, false, 0)
+	l1b := d1.Access(64, false, 0)
+	l2a := d2.Access(0, false, 0)
+	l2b := d2.Access(64, false, 0)
+	last1, last2 := l1b, l2b
+	if l1a > last1 {
+		last1 = l1a
+	}
+	if l2a > last2 {
+		last2 = l2a
+	}
+	if last2 >= last1 {
+		t.Errorf("2-channel pair done at %d, 1-channel at %d — no overlap", last2, last1)
+	}
+}
+
+func TestChannelsValidate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Channels = 3
+	if bad.Validate() == nil {
+		t.Error("Channels=3 accepted")
+	}
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Error("Channels=0 accepted")
+	}
+}

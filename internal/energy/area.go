@@ -1,0 +1,124 @@
+package energy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchedulerState estimates the scheduler-related storage of one
+// microarchitecture in bytes, plus its select-circuit complexity, in the
+// spirit of §IV-G3's hardware-overhead accounting. It is a first-order
+// bit-counting model (payload entries, pointers, scoreboard fields), not a
+// layout tool; its purpose is to substantiate the paper's claim that
+// Ballerino's additions over CES are small.
+type SchedulerState struct {
+	Arch string
+	// PayloadBytes is the IQ payload storage (entries × entry size).
+	PayloadBytes int
+	// WakeupBytes is CAM tag storage (out-of-order IQs only).
+	WakeupBytes int
+	// PointerBytes covers FIFO head/tail pointers (doubled in sharing
+	// mode) and scoreboard location fields.
+	PointerBytes int
+	// LFSTExtraBytes is the Ballerino LFST steering extension (§IV-G3:
+	// 64 bytes at 8-wide).
+	LFSTExtraBytes int
+	// SelectInputs is the per-port prefix-sum input count — the select
+	// critical path is ⌈log2(inputs)⌉ adders (§IV-E).
+	SelectInputs int
+}
+
+// SelectDepth returns the prefix-sum critical path in adder stages.
+func (s SchedulerState) SelectDepth() int {
+	d := 0
+	for n := 1; n < s.SelectInputs; n *= 2 {
+		d++
+	}
+	return d
+}
+
+// TotalBytes sums all storage categories.
+func (s SchedulerState) TotalBytes() int {
+	return s.PayloadBytes + s.WakeupBytes + s.PointerBytes + s.LFSTExtraBytes
+}
+
+// Entry-size constants (bytes) for the bit-counting model: a payload entry
+// holds the decoded μop (opcode, dest/src physical tags, immediate, port);
+// a CAM wakeup entry holds two source tags plus ready bits.
+const (
+	payloadEntryBytes = 16
+	wakeupEntryBytes  = 3
+	pointerBytes      = 2 // head or tail pointer
+)
+
+// EstimateSchedulerState returns the model for the named 8-wide
+// configuration of Table II.
+func EstimateSchedulerState(arch string) (SchedulerState, error) {
+	switch arch {
+	case "InO":
+		return SchedulerState{
+			Arch: arch, PayloadBytes: 96 * payloadEntryBytes,
+			PointerBytes: 2 * pointerBytes,
+			SelectInputs: 8, // head window
+		}, nil
+	case "OoO":
+		return SchedulerState{
+			Arch: arch, PayloadBytes: 96 * payloadEntryBytes,
+			WakeupBytes:  96 * wakeupEntryBytes * 2,
+			SelectInputs: 96, // every entry requests every port
+		}, nil
+	case "CES":
+		return SchedulerState{
+			Arch: arch, PayloadBytes: 8 * 12 * payloadEntryBytes,
+			PointerBytes: 8 * 2 * pointerBytes,
+			SelectInputs: 8, // one request per P-IQ head
+		}, nil
+	case "CASINO":
+		return SchedulerState{
+			Arch: arch, PayloadBytes: (8 + 40 + 40 + 8) * payloadEntryBytes,
+			PointerBytes: 4 * 2 * pointerBytes,
+			SelectInputs: 16, // four windows of four
+		}, nil
+	case "FXA":
+		return SchedulerState{
+			Arch: arch, PayloadBytes: 48 * payloadEntryBytes,
+			WakeupBytes:  48 * wakeupEntryBytes * 2,
+			SelectInputs: 48,
+		}, nil
+	case "Ballerino":
+		return SchedulerState{
+			Arch: arch, PayloadBytes: (8 + 7*12) * payloadEntryBytes,
+			// Each P-IQ has one extra head/tail pair for sharing mode.
+			PointerBytes:   (7*4 + 2) * pointerBytes,
+			LFSTExtraBytes: 64,
+			SelectInputs:   7 + 4, // P-IQ heads + S-IQ window (§IV-E)
+		}, nil
+	case "Ballerino-12":
+		return SchedulerState{
+			Arch: arch, PayloadBytes: (8 + 11*12) * payloadEntryBytes,
+			PointerBytes:   (11*4 + 2) * pointerBytes,
+			LFSTExtraBytes: 64,
+			SelectInputs:   11 + 4, // log2(15) → 4-stage prefix sum (§VI-E3)
+		}, nil
+	default:
+		return SchedulerState{}, fmt.Errorf("energy: no state model for %q", arch)
+	}
+}
+
+// StateReport renders the §IV-G3-style comparison for the standard set.
+func StateReport() string {
+	var sb strings.Builder
+	sb.WriteString("## Scheduler storage and select complexity (§IV-G3 model, 8-wide)\n")
+	fmt.Fprintf(&sb, "%-14s %9s %9s %9s %6s %8s %10s\n",
+		"arch", "payload", "wakeup", "pointers", "LFST+", "total", "sel depth")
+	for _, a := range []string{"InO", "OoO", "CES", "CASINO", "FXA", "Ballerino", "Ballerino-12"} {
+		s, err := EstimateSchedulerState(a)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-14s %8dB %8dB %8dB %5dB %7dB %10d\n",
+			s.Arch, s.PayloadBytes, s.WakeupBytes, s.PointerBytes,
+			s.LFSTExtraBytes, s.TotalBytes(), s.SelectDepth())
+	}
+	return sb.String()
+}

@@ -1,0 +1,175 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func baseStats() *stats.Sim {
+	s := &stats.Sim{Cycles: 1000, Committed: 2000, Fetched: 2100, Issued: 2050}
+	s.OpCommitted[isa.OpIntALU] = 1200
+	s.OpCommitted[isa.OpLoad] = 400
+	s.OpCommitted[isa.OpStore] = 200
+	s.OpCommitted[isa.OpBranch] = 200
+	return s
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := []string{"L1 I/D$", "Fetch/Decode", "Rename", "Steer", "MDP", "Schedule", "LSQ", "PRF", "FUs"}
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() != want[c] {
+			t.Errorf("category %d = %q, want %q", c, c.String(), want[c])
+		}
+	}
+}
+
+func TestComputeChargesSchedulerEvents(t *testing.T) {
+	p := DefaultParams()
+	in := Inputs{Stats: baseStats(), Renames: 2000, MDPOn: true}
+	base := Compute(p, in)
+
+	in.Sched = sched.EnergyEvents{WakeupBroadcasts: 1000, WakeupCompares: 100000}
+	withCAM := Compute(p, in)
+	if withCAM.PJ[CatSched] <= base.PJ[CatSched] {
+		t.Error("CAM events added no Schedule energy")
+	}
+	// Only the Schedule category changed.
+	for c := Category(0); c < NumCategories; c++ {
+		if c != CatSched && withCAM.PJ[c] != base.PJ[c] {
+			t.Errorf("category %v changed by wakeup events", c)
+		}
+	}
+}
+
+func TestSteerEventsGoToSteerCategory(t *testing.T) {
+	p := DefaultParams()
+	in := Inputs{Stats: baseStats(), Renames: 2000}
+	base := Compute(p, in)
+	in.Sched = sched.EnergyEvents{SteerOps: 5000, PSCBReads: 10000}
+	got := Compute(p, in)
+	if got.PJ[CatSteer] <= base.PJ[CatSteer] {
+		t.Error("steer events added no Steer energy")
+	}
+}
+
+func TestMDPOffZeroDynamicMDP(t *testing.T) {
+	p := DefaultParams()
+	leakMDP := float64(baseStats().Cycles) * p.LeakagePJPerCycle * p.LeakageShare[CatMDP]
+	off := Compute(p, Inputs{Stats: baseStats(), MDPOn: false})
+	if off.PJ[CatMDP] != leakMDP {
+		t.Errorf("MDP-off energy %v, want leakage only %v", off.PJ[CatMDP], leakMDP)
+	}
+	on := Compute(p, Inputs{Stats: baseStats(), MDPOn: true})
+	if on.PJ[CatMDP] <= off.PJ[CatMDP] {
+		t.Error("MDP-on adds no energy")
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	p := DefaultParams()
+	in := Inputs{Stats: baseStats(), Renames: 2000, VoltageV: 1.04, NominalV: 1.04}
+	nominal := Compute(p, in)
+	in.VoltageV = 0.96
+	low := Compute(p, in)
+	want := nominal.Total() * (0.96 / 1.04) * (0.96 / 1.04)
+	if diff := low.Total() - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("scaled total = %v, want %v", low.Total(), want)
+	}
+}
+
+func TestReplayFactorChargesFUs(t *testing.T) {
+	p := DefaultParams()
+	s := baseStats()
+	clean := Compute(p, Inputs{Stats: s})
+	s2 := baseStats()
+	s2.Issued = s2.Committed * 2 // heavy replay
+	replayed := Compute(p, Inputs{Stats: s2})
+	if replayed.PJ[CatFU] <= clean.PJ[CatFU] {
+		t.Error("replays add no FU energy")
+	}
+}
+
+func TestTotalIsSumOfCategories(t *testing.T) {
+	b := Breakdown{}
+	for c := Category(0); c < NumCategories; c++ {
+		b.PJ[c] = float64(c + 1)
+	}
+	if b.Total() != 45 {
+		t.Errorf("Total = %v, want 45", b.Total())
+	}
+}
+
+func TestEDPAndEfficiency(t *testing.T) {
+	b := Breakdown{}
+	b.PJ[CatFU] = 100
+	if EDP(b, 10) != 1000 {
+		t.Errorf("EDP = %v", EDP(b, 10))
+	}
+	if Efficiency(b, 10) != 1.0/1000 {
+		t.Errorf("Efficiency = %v", Efficiency(b, 10))
+	}
+	if Efficiency(Breakdown{}, 10) != 0 {
+		t.Error("degenerate efficiency not 0")
+	}
+}
+
+func TestLeakageSharesSumToOne(t *testing.T) {
+	p := DefaultParams()
+	sum := 0.0
+	for _, v := range p.LeakageShare {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("leakage shares sum to %v", sum)
+	}
+}
+
+func TestSchedulerStateModel(t *testing.T) {
+	ooo, err := EstimateSchedulerState("OoO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, err := EstimateSchedulerState("Ballerino")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ces, err := EstimateSchedulerState("CES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ballerino carries no CAM wakeup storage and a far shallower select
+	// circuit than the unified out-of-order IQ.
+	if ball.WakeupBytes != 0 || ooo.WakeupBytes == 0 {
+		t.Error("wakeup storage model wrong")
+	}
+	if ball.SelectDepth() >= ooo.SelectDepth() {
+		t.Errorf("select depth: Ballerino %d vs OoO %d", ball.SelectDepth(), ooo.SelectDepth())
+	}
+	// §IV-G3: the overhead over CES is small — extra pointers plus the
+	// 64-byte LFST extension (the S-IQ replaces one P-IQ).
+	extra := ball.TotalBytes() - ces.TotalBytes()
+	if extra < 0 || extra > 256 {
+		t.Errorf("Ballerino over CES = %dB, want small positive", extra)
+	}
+	// §VI-E3: Ballerino-12's prefix-sum critical path stays at 4 stages.
+	b12, _ := EstimateSchedulerState("Ballerino-12")
+	if b12.SelectDepth() != 4 {
+		t.Errorf("Ballerino-12 select depth = %d, want 4 (log2 15)", b12.SelectDepth())
+	}
+	if _, err := EstimateSchedulerState("nope"); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestStateReportRenders(t *testing.T) {
+	r := StateReport()
+	for _, want := range []string{"OoO", "Ballerino-12", "sel depth"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package exp implements the per-figure experiment harnesses: for every
+// table and figure in the paper's evaluation, a function runs the required
+// simulations and renders the same rows/series the paper reports.
+// cmd/experiments prints them; bench_test.go and the test suite drive them
+// programmatically.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro"
+)
+
+// Options tunes experiment cost. Zero values select defaults.
+type Options struct {
+	// Ops is the dynamic μop budget per simulation (default 150000).
+	Ops int
+	// Footprint overrides the kernel data footprint (default 8 MiB).
+	Footprint int64
+	// Workloads restricts the kernel set (default: all).
+	Workloads []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ops == 0 {
+		o.Ops = 150_000
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = ballerino.Workloads()
+	}
+	return o
+}
+
+func (o Options) run(arch, wl string) (*ballerino.Result, error) {
+	return ballerino.Run(ballerino.Config{
+		Arch:           arch,
+		Workload:       wl,
+		FootprintBytes: o.Footprint,
+		MaxOps:         o.Ops,
+	})
+}
+
+// suite runs arch over every workload (in parallel — each simulation is
+// independent and deterministic) and returns results by workload.
+func (o Options) suite(arch string) (map[string]*ballerino.Result, error) {
+	out := make(map[string]*ballerino.Result, len(o.Workloads))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
+	)
+	for _, wl := range o.Workloads {
+		wl := wl
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := o.run(arch, wl)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			out[wl] = r
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// geoSpeedup returns the geometric-mean ratio of res IPC over base IPC.
+func geoSpeedup(res, base map[string]*ballerino.Result) float64 {
+	var ratios []float64
+	for wl, r := range res {
+		if b, ok := base[wl]; ok && b.IPC > 0 {
+			ratios = append(ratios, r.IPC/b.IPC)
+		}
+	}
+	return ballerino.GeoMean(ratios)
+}
+
+// Row is one labelled series of values in an experiment result.
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// Table is a rendered experiment: an ordered set of rows with shared
+// column names.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s\n", t.Title)
+	width := 14
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", width+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, "%12s", c)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", width+2, r.Label)
+		for _, c := range t.Columns {
+			if v, ok := r.Values[c]; ok {
+				fmt.Fprintf(&sb, "%12.3f", v)
+			} else {
+				fmt.Fprintf(&sb, "%12s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Get returns the value at (label, column).
+func (t *Table) Get(label, column string) (float64, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			v, ok := r.Values[column]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// sortedKeys returns map keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

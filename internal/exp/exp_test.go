@@ -1,0 +1,303 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps experiment tests quick: two contrasting kernels, small
+// budget. These tests check structure and directional claims, not the
+// calibrated magnitudes (EXPERIMENTS.md records those from full runs).
+func fastOpts() Options {
+	return Options{Ops: 15_000, Workloads: []string{"compute", "sparse-trees"}}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "x", Values: map[string]float64{"a": 1, "b": 2}},
+			{Label: "y", Values: map[string]float64{"a": 3}},
+		},
+		Notes: "hello",
+	}
+	out := tb.String()
+	for _, want := range []string{"demo", "x", "y", "1.000", "hello", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if v, ok := tb.Get("x", "b"); !ok || v != 2 {
+		t.Errorf("Get = %v,%v", v, ok)
+	}
+	if _, ok := tb.Get("x", "zzz"); ok {
+		t.Error("Get found missing column")
+	}
+	if _, ok := tb.Get("zzz", "a"); ok {
+		t.Error("Get found missing row")
+	}
+}
+
+func TestFig3cStructure(t *testing.T) {
+	tb, err := Fig3c(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four microarchitectures × four classes.
+	if len(tb.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tb.Rows))
+	}
+	// Directional claim: the in-order core's LdC ready→issue delay far
+	// exceeds the out-of-order core's (the whole point of the figure).
+	inoR2I, _ := tb.Get("InO/LdC", "rdy→issue")
+	oooR2I, _ := tb.Get("OoO/LdC", "rdy→issue")
+	if inoR2I <= oooR2I {
+		t.Errorf("InO LdC r2i %.1f not above OoO %.1f", inoR2I, oooR2I)
+	}
+}
+
+func TestFig11Structure(t *testing.T) {
+	tb, err := Fig11(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(fig11Archs) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	ooo, _ := tb.Get("OoO", "GEOMEAN")
+	casino, _ := tb.Get("CASINO", "GEOMEAN")
+	ball, _ := tb.Get("Ballerino", "GEOMEAN")
+	if !(ooo > 1 && ball > 1) {
+		t.Errorf("speedups not > 1: OoO %.2f Ballerino %.2f", ooo, ball)
+	}
+	// The paper's headline ordering: CASINO < Ballerino ≈ OoO.
+	if casino >= ball {
+		t.Errorf("CASINO %.2f not below Ballerino %.2f", casino, ball)
+	}
+}
+
+func TestFig13MonotoneOverTechniques(t *testing.T) {
+	tb, err := Fig13(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ces, _ := tb.Get("CES", "speedup")
+	ball, _ := tb.Get("Ballerino", "speedup")
+	if ball <= ces {
+		t.Errorf("full Ballerino %.3f not above CES %.3f", ball, ces)
+	}
+}
+
+func TestFig14Fractions(t *testing.T) {
+	tb, err := Fig14(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		sum := r.Values["S-IQ"] + r.Values["P-IQ"]
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s fractions sum to %v", r.Label, sum)
+		}
+	}
+}
+
+func TestFig15NormalisedToOoO(t *testing.T) {
+	tb, err := Fig15(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oooTotal, ok := tb.Get("OoO", "TOTAL")
+	if !ok || oooTotal < 0.999 || oooTotal > 1.001 {
+		t.Errorf("OoO total = %v, want 1.0", oooTotal)
+	}
+	ballTotal, _ := tb.Get("Ballerino", "TOTAL")
+	if ballTotal >= 1 {
+		t.Errorf("Ballerino energy %v not below OoO", ballTotal)
+	}
+}
+
+func TestFig16BallerinoMoreEfficient(t *testing.T) {
+	tb, err := Fig16(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ball, _ := tb.Get("Ballerino", "efficiency")
+	if ball <= 1 {
+		t.Errorf("Ballerino efficiency %v not above OoO", ball)
+	}
+}
+
+func TestFig17cMoreQueuesHelp(t *testing.T) {
+	o := Options{Ops: 15_000, Workloads: []string{"sparse-trees"}}
+	tb, err := Fig17c(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, _ := tb.Get("3 P-IQs", "speedup")
+	eleven, _ := tb.Get("11 P-IQs", "speedup")
+	if eleven <= three {
+		t.Errorf("11 P-IQs %.3f not above 3 P-IQs %.3f on chain-rich kernel", eleven, three)
+	}
+}
+
+func TestMDPImpactRemovesViolations(t *testing.T) {
+	o := Options{Ops: 25_000, Workloads: []string{"store-load"}}
+	tb, err := MDPImpact(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short runs pay the initial training violations; the full-budget run
+	// in EXPERIMENTS.md reaches the paper's ≈96%.
+	removed, _ := tb.Get("store-load", "removed")
+	if removed < 0.8 {
+		t.Errorf("MDP removed %.0f%% of violations, want ≥80%%", removed*100)
+	}
+	// The paper's 1.5× aggregate speedup does not reproduce here (see
+	// EXPERIMENTS.md §III-B); assert only that honouring the predictions
+	// is roughly performance-neutral.
+	speedup, _ := tb.Get("store-load", "speedup")
+	if speedup < 0.85 {
+		t.Errorf("MDP speedup %.2f — predictions too costly", speedup)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	t1 := TableI()
+	for _, want := range []string{"8-wide", "ROB 224", "L1I/D 32 KiB", "SSIT"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	t2 := TableII()
+	for _, want := range []string{"96-entry", "7 × 12-entry", "11 × 12-entry", "IXU"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestAblationsStructure(t *testing.T) {
+	tb, err := Ablations(Options{Ops: 10_000, Workloads: []string{"sparse-trees"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, ok := tb.Get("default", "rel_ipc")
+	if !ok || def < 0.999 || def > 1.001 {
+		t.Errorf("default rel_ipc = %v, want 1.0", def)
+	}
+	noShare, _ := tb.Get("no-sharing", "rel_ipc")
+	if noShare >= 1 {
+		t.Errorf("removing sharing did not hurt the chain-rich kernel: %v", noShare)
+	}
+	if len(tb.Rows) < 10 {
+		t.Errorf("ablation rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	o := Options{Ops: 10_000, Workloads: []string{"sparse-trees"}}
+	tb, err := Fig4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Fractions (excluding the speedup column) sum to 1.
+	r := tb.Rows[0]
+	sum := r.Values["steer_dc"] + r.Values["alloc_rdy"] + r.Values["alloc_nrdy"] +
+		r.Values["stall_rdy"] + r.Values["stall_nrdy"]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("steering fractions sum to %v", sum)
+	}
+}
+
+func TestFig6aStructure(t *testing.T) {
+	o := Options{Ops: 10_000, Workloads: []string{"sparse-trees"}}
+	tb, err := Fig6a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tb.Rows[0]
+	sum := r.Values["issue"] + r.Values["stall_mdep"] + r.Values["stall_data"] + r.Values["empty"]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("head fractions sum to %v", sum)
+	}
+}
+
+func TestFig6bCountBeatsDepth(t *testing.T) {
+	o := Options{Ops: 10_000, Workloads: []string{"sparse-trees"}}
+	tb, err := Fig6b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, _ := tb.Get("3 P-IQs", "depth12")
+	many, _ := tb.Get("11 P-IQs", "depth12")
+	if many <= few {
+		t.Errorf("count sensitivity missing: %v vs %v", few, many)
+	}
+}
+
+func TestFig12Structure(t *testing.T) {
+	tb, err := Fig12(Options{Ops: 10_000, Workloads: []string{"compute"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 { // 4 archs × 3 classes
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if _, ok := tb.Get("Ballerino/LdC", "total"); !ok {
+		t.Error("missing Ballerino/LdC row")
+	}
+}
+
+func TestFig17aWiderIsFaster(t *testing.T) {
+	o := Options{Ops: 10_000, Workloads: []string{"compute"}}
+	tb, err := Fig17a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := tb.Get("OoO", "w2")
+	w8, _ := tb.Get("OoO", "w8")
+	if w8 <= w2 {
+		t.Errorf("8-wide OoO (%v) not above 2-wide (%v)", w8, w2)
+	}
+}
+
+func TestFig17bLevelsOrdered(t *testing.T) {
+	o := Options{Ops: 10_000, Workloads: []string{"compute"}}
+	tb, err := Fig17b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _ := tb.Get("Ballerino@L4", "speedup")
+	lo, _ := tb.Get("Ballerino@L1", "speedup")
+	if hi <= lo {
+		t.Errorf("L4 speedup %v not above L1 %v", hi, lo)
+	}
+	eHi, _ := tb.Get("Ballerino@L4", "energy")
+	eLo, _ := tb.Get("Ballerino@L1", "energy")
+	if eLo >= eHi {
+		t.Errorf("L1 energy %v not below L4 %v", eLo, eHi)
+	}
+}
+
+func TestCasinoSearchFindsPaperPick(t *testing.T) {
+	o := Options{Ops: 10_000, Workloads: []string{"compute"}}
+	tb, err := CasinoSearch(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	pick, ok := tb.Get("[8 40 40 8]", "geomean_ipc")
+	if !ok || pick <= 0 {
+		t.Fatal("paper cascade missing from the search")
+	}
+	worst, _ := tb.Get("[8 88]", "geomean_ipc")
+	if worst >= pick {
+		t.Errorf("degenerate cascade (%v) not below the paper pick (%v)", worst, pick)
+	}
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+// TableI renders the reproduced Table I: core and memory system
+// configurations for each issue width.
+func TableI() string {
+	var sb strings.Builder
+	sb.WriteString("## Table I — core and memory system configurations\n")
+	for _, w := range []int{8, 4, 2} {
+		m, err := config.NewMachine(config.ArchOoO, w, config.Options{})
+		if err != nil {
+			fmt.Fprintf(&sb, "width %d: %v\n", w, err)
+			continue
+		}
+		p := m.Pipeline
+		fmt.Fprintf(&sb, "%d-wide @%.1f GHz: decode/dispatch %d, issue %d, commit %d; "+
+			"ROB %d, LQ %d, SQ %d, PRF %d int + %d fp; recovery %d cycles\n",
+			w, m.ClockGHz, p.RenameWidth, p.IssueWidth, p.CommitWidth,
+			p.ROBSize, p.LQSize, p.SQSize, p.Rename.IntRegs, p.Rename.FpRegs,
+			p.RecoveryPenalty)
+	}
+	mc := mem.DefaultConfig()
+	fmt.Fprintf(&sb, "L1I/D %d KiB %d-way %dc %d MSHRs (stride prefetcher); "+
+		"L2 %d KiB %d-way %dc; L3 %d KiB %d-way %dc; DDR4 %d banks\n",
+		mc.L1D.SizeBytes>>10, mc.L1D.Ways, mc.L1D.HitLatency, mc.L1D.MSHRs,
+		mc.L2.SizeBytes>>10, mc.L2.Ways, mc.L2.HitLatency,
+		mc.L3.SizeBytes>>10, mc.L3.Ways, mc.L3.HitLatency, mc.DRAM.Banks)
+	sb.WriteString("MDP: 1024-entry SSIT, 7-bit SSID; TAGE + 512×4 BTB\n")
+	return sb.String()
+}
+
+// TableII renders the reproduced Table II: scheduling-window
+// configurations per microarchitecture at 8-wide.
+func TableII() string {
+	var sb strings.Builder
+	sb.WriteString("## Table II — scheduling window configurations (8-wide)\n")
+	rows := []struct {
+		arch config.Arch
+		desc func(m *config.Machine) string
+	}{
+		{config.ArchInO, func(*config.Machine) string { return "96-entry in-order IQ" }},
+		{config.ArchOoO, func(*config.Machine) string { return "96-entry out-of-order IQ" }},
+		{config.ArchCES, func(m *config.Machine) string {
+			return fmt.Sprintf("%d × %d-entry P-IQ", m.NumPIQs, m.PIQDepth)
+		}},
+		{config.ArchCASINO, func(*config.Machine) string {
+			return "8-entry S-IQ0, 40-entry S-IQ1, 40-entry S-IQ2, 8-entry in-order IQ"
+		}},
+		{config.ArchFXA, func(*config.Machine) string { return "3-stage IXU + 48-entry out-of-order IQ" }},
+		{config.ArchBallerino, func(m *config.Machine) string {
+			return fmt.Sprintf("8-entry S-IQ + %d × %d-entry P-IQ", m.NumPIQs, m.PIQDepth)
+		}},
+		{config.ArchBallerino12, func(m *config.Machine) string {
+			return fmt.Sprintf("8-entry S-IQ + %d × %d-entry P-IQ", m.NumPIQs, m.PIQDepth)
+		}},
+	}
+	for _, r := range rows {
+		m, err := config.NewMachine(r.arch, 8, config.Options{})
+		if err != nil {
+			fmt.Fprintf(&sb, "%-14s %v\n", r.arch, err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-14s %s\n", r.arch, r.desc(m))
+	}
+	return sb.String()
+}

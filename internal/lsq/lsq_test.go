@@ -1,0 +1,157 @@
+package lsq
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+func ld(seq uint64, addr uint64) *sched.UOp {
+	return &sched.UOp{D: &isa.DynInst{Seq: seq, Op: isa.OpLoad, Addr: addr}}
+}
+
+func st(seq uint64, addr uint64) *sched.UOp {
+	return &sched.UOp{D: &isa.DynInst{Seq: seq, Op: isa.OpStore, Addr: addr}}
+}
+
+func alu(seq uint64) *sched.UOp {
+	return &sched.UOp{D: &isa.DynInst{Seq: seq, Op: isa.OpIntALU}}
+}
+
+func issued(u *sched.UOp, issue, complete uint64) *sched.UOp {
+	u.Issued = true
+	u.IssueCycle = issue
+	u.CompleteCycle = complete
+	return u
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(0, 4)
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	q := New(2, 1)
+	l1, l2, l3 := ld(1, 8), ld(2, 16), ld(3, 24)
+	s1, s2 := st(4, 8), st(5, 16)
+
+	if !q.CanAccept(l1) {
+		t.Fatal("empty LQ refused a load")
+	}
+	q.Insert(l1)
+	q.Insert(l2)
+	if q.CanAccept(l3) {
+		t.Error("full LQ accepted a load")
+	}
+	q.Insert(s1)
+	if q.CanAccept(s2) {
+		t.Error("full SQ accepted a store")
+	}
+	// Non-memory μops never block.
+	if !q.CanAccept(alu(9)) {
+		t.Error("ALU op blocked by LSQ")
+	}
+	nl, ns := q.Counts()
+	if nl != 2 || ns != 1 {
+		t.Errorf("counts = %d,%d", nl, ns)
+	}
+	q.Remove(l1)
+	if !q.CanAccept(l3) {
+		t.Error("LQ still full after removal")
+	}
+	// Removing an absent entry is a no-op.
+	q.Remove(l1)
+	if nl, _ := q.Counts(); nl != 1 {
+		t.Errorf("double remove corrupted LQ: %d", nl)
+	}
+}
+
+func TestStoreBySeq(t *testing.T) {
+	q := New(4, 4)
+	s := st(7, 64)
+	q.Insert(s)
+	if got := q.StoreBySeq(7); got != s {
+		t.Error("StoreBySeq missed an in-flight store")
+	}
+	if got := q.StoreBySeq(8); got != nil {
+		t.Error("StoreBySeq invented a store")
+	}
+	q.Remove(s)
+	if got := q.StoreBySeq(7); got != nil {
+		t.Error("StoreBySeq found a removed store")
+	}
+}
+
+func TestForwardingPicksYoungestResolvedOlderStore(t *testing.T) {
+	q := New(8, 8)
+	old := issued(st(1, 64), 5, 6)
+	mid := issued(st(3, 64), 8, 9)
+	young := issued(st(9, 64), 10, 11) // YOUNGER than the load
+	other := issued(st(4, 128), 8, 9)  // different address
+	pending := st(5, 64)               // not issued yet
+	for _, s := range []*sched.UOp{old, mid, young, other, pending} {
+		q.Insert(s)
+	}
+	load := ld(7, 64)
+	if got := q.ForwardingStore(load, 20); got != mid {
+		t.Errorf("forwarded from seq %v, want 3 (youngest older resolved)", got)
+	}
+	// A read before mid resolves must fall back to the older store.
+	if got := q.ForwardingStore(load, 7); got != old {
+		t.Errorf("early read forwarded from %v, want 1", got)
+	}
+	// A read before anything resolves forwards from nothing.
+	if got := q.ForwardingStore(load, 3); got != nil {
+		t.Errorf("unresolved stores forwarded: %v", got)
+	}
+}
+
+func TestViolationDetection(t *testing.T) {
+	q := New(8, 8)
+	// Store resolves at cycle 50; loads that read (issue+1) before then
+	// and match the address violate.
+	store := issued(st(10, 64), 49, 50)
+
+	early := issued(ld(12, 64), 20, 30)     // read at 21 < 50 → violates
+	earlier := issued(ld(11, 64), 25, 35)   // also violates, and is older
+	late := issued(ld(13, 64), 60, 70)      // read after resolution
+	boundary := issued(ld(14, 64), 49, 55)  // read at 50 == 50 → no violation
+	diffAddr := issued(ld(15, 128), 20, 30) // different word
+	older := issued(ld(9, 64), 20, 30)      // older than the store
+	notIssued := ld(16, 64)
+	for _, l := range []*sched.UOp{early, earlier, late, boundary, diffAddr, older, notIssued} {
+		q.Insert(l)
+	}
+	victim := q.ViolatingLoad(store)
+	if victim != earlier {
+		t.Fatalf("victim seq %d, want 11 (the oldest racing load)", victim.Seq())
+	}
+	// After flushing the racing loads, no victim remains.
+	q.Remove(early)
+	q.Remove(earlier)
+	if v := q.ViolatingLoad(store); v != nil {
+		t.Errorf("spurious victim seq %d", v.Seq())
+	}
+}
+
+func TestProgramOrderPreserved(t *testing.T) {
+	q := New(16, 16)
+	for i := uint64(0); i < 10; i++ {
+		q.Insert(ld(i*2, 8*i))
+		q.Insert(st(i*2+1, 8*i))
+	}
+	// Forwarding for a very young load must see the youngest older store
+	// even with many candidates.
+	for _, s := range q.sq {
+		issued(s, s.Seq(), s.Seq()+1)
+	}
+	load := ld(100, 8*9)
+	if got := q.ForwardingStore(load, 1000); got == nil || got.Seq() != 19 {
+		t.Errorf("forwarding store = %v, want seq 19", got)
+	}
+}

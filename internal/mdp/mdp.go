@@ -1,0 +1,220 @@
+// Package mdp implements memory dependence prediction with store sets
+// (Chrysos & Emer), per §II-A and §IV-C of the paper: a 1024-entry store
+// set ID table (SSIT) indexed by instruction PC, holding 7-bit SSIDs, and a
+// last fetched store table (LFST) indexed by SSID, holding the hardware
+// pointer of the most recently fetched in-flight store of the set.
+//
+// For Ballerino's M-dependence-aware steering (§IV-C), each LFST entry is
+// extended with producer-location fields: the index of the P-IQ the store
+// was steered to and a Reserved flag recording whether a consumer has
+// already followed it there.
+package mdp
+
+// NoStore marks the absence of an in-flight producer store.
+const NoStore = ^uint64(0)
+
+// NoIQ marks the absence of steering information in an LFST entry.
+const NoIQ = -1
+
+// Config sizes the tables (Table I: 1024-entry SSIT, 7-bit SSID).
+type Config struct {
+	SSITEntries int
+	SSIDBits    int
+}
+
+// DefaultConfig returns the Table I configuration.
+func DefaultConfig() Config { return Config{SSITEntries: 1024, SSIDBits: 7} }
+
+// Stats counts predictor events.
+type Stats struct {
+	Violations  uint64 // order violations reported for training
+	Merges      uint64 // store-set merges (both PCs already had sets)
+	Allocations uint64 // new store sets created
+	LoadWaits   uint64 // loads told to wait on an in-flight store
+	StoreSerial uint64 // stores serialised behind an earlier set member
+}
+
+type lfstEntry struct {
+	store uint64 // dynamic id of most recent in-flight store; NoStore if none
+	// lastUpdater is the dynamic id of the store that wrote this entry;
+	// the entry is cleared only when that store issues (or squashes).
+	lastUpdater uint64
+
+	// Steering extension for Ballerino (§IV-C): where the producer store
+	// went, and whether a consumer already followed it there.
+	IQIndex  int
+	Reserved bool
+}
+
+// MDP is the store-set predictor.
+type MDP struct {
+	cfg      Config
+	ssit     []int32 // PC-indexed; -1 = invalid, else SSID
+	lfst     []lfstEntry
+	nextSSID int32
+	stats    Stats
+}
+
+// New returns an MDP with empty tables.
+func New(cfg Config) *MDP {
+	if cfg.SSITEntries <= 0 || cfg.SSITEntries&(cfg.SSITEntries-1) != 0 {
+		panic("mdp: SSITEntries must be a positive power of two")
+	}
+	if cfg.SSIDBits <= 0 || cfg.SSIDBits > 20 {
+		panic("mdp: SSIDBits out of range")
+	}
+	m := &MDP{
+		cfg:  cfg,
+		ssit: make([]int32, cfg.SSITEntries),
+		lfst: make([]lfstEntry, 1<<cfg.SSIDBits),
+	}
+	for i := range m.ssit {
+		m.ssit[i] = -1
+	}
+	m.clearAllLFST()
+	return m
+}
+
+func (m *MDP) clearAllLFST() {
+	for i := range m.lfst {
+		m.lfst[i] = lfstEntry{store: NoStore, lastUpdater: NoStore, IQIndex: NoIQ}
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *MDP) Stats() Stats { return m.stats }
+
+func (m *MDP) ssitIdx(pc uint64) int {
+	return int(pc) & (m.cfg.SSITEntries - 1)
+}
+
+// SSID returns the store set of pc, or -1.
+func (m *MDP) SSID(pc uint64) int32 { return m.ssit[m.ssitIdx(pc)] }
+
+// TrainViolation records a memory order violation between the store at
+// storePC and the load at loadPC, assigning or merging their store sets per
+// the original store-sets rules.
+func (m *MDP) TrainViolation(storePC, loadPC uint64) {
+	m.stats.Violations++
+	si, li := m.ssitIdx(storePC), m.ssitIdx(loadPC)
+	ss, ls := m.ssit[si], m.ssit[li]
+	switch {
+	case ss == -1 && ls == -1:
+		id := m.allocSSID()
+		m.ssit[si], m.ssit[li] = id, id
+		m.stats.Allocations++
+	case ss == -1:
+		m.ssit[si] = ls
+	case ls == -1:
+		m.ssit[li] = ss
+	case ss != ls:
+		// Merge: both adopt the smaller SSID (declawed merge rule).
+		m.stats.Merges++
+		if ss < ls {
+			m.ssit[li] = ss
+		} else {
+			m.ssit[si] = ls
+		}
+	}
+}
+
+func (m *MDP) allocSSID() int32 {
+	id := m.nextSSID
+	m.nextSSID = (m.nextSSID + 1) & int32(len(m.lfst)-1)
+	return id
+}
+
+// StoreDispatched must be called when a store is renamed/dispatched.
+// It returns the dynamic id of an earlier in-flight store of the same set
+// that this store must be serialised behind (or NoStore), plus the SSID
+// (or -1). It then records this store as the set's most recent member.
+//
+// The iqIndex parameter records where the steering logic placed the store
+// (Ballerino's LFST extension); pass NoIQ for cores without MDA steering.
+func (m *MDP) StoreDispatched(pc uint64, dynID uint64, iqIndex int) (waitFor uint64, ssid int32) {
+	ssid = m.SSID(pc)
+	if ssid < 0 {
+		return NoStore, -1
+	}
+	e := &m.lfst[ssid]
+	waitFor = e.store
+	if waitFor != NoStore {
+		m.stats.StoreSerial++
+	}
+	e.store = dynID
+	e.lastUpdater = dynID
+	e.IQIndex = iqIndex
+	e.Reserved = false
+	return waitFor, ssid
+}
+
+// LoadDispatched must be called when a load is renamed/dispatched. It
+// returns the dynamic id of the in-flight store the load must wait for
+// (or NoStore) and the load's SSID (or -1).
+func (m *MDP) LoadDispatched(pc uint64) (waitFor uint64, ssid int32) {
+	ssid = m.SSID(pc)
+	if ssid < 0 {
+		return NoStore, -1
+	}
+	e := &m.lfst[ssid]
+	if e.store != NoStore {
+		m.stats.LoadWaits++
+	}
+	return e.store, ssid
+}
+
+// SetProducerLocation records, at steering time, the P-IQ where the store
+// that most recently updated the set's LFST entry was placed. It is a no-op
+// if a younger store has since taken over the entry.
+func (m *MDP) SetProducerLocation(ssid int32, dynID uint64, iqIndex int) {
+	if ssid < 0 {
+		return
+	}
+	e := &m.lfst[ssid]
+	if e.lastUpdater == dynID {
+		e.IQIndex = iqIndex
+		e.Reserved = false
+	}
+}
+
+// ProducerLocation returns the steering information the most recent store
+// of the set left behind: the P-IQ it occupies and whether a consumer has
+// already been steered after it. ok is false when the set has no in-flight
+// store or no recorded steering.
+func (m *MDP) ProducerLocation(ssid int32) (iqIndex int, reserved bool, ok bool) {
+	if ssid < 0 {
+		return NoIQ, false, false
+	}
+	e := &m.lfst[ssid]
+	if e.store == NoStore || e.IQIndex == NoIQ {
+		return NoIQ, false, false
+	}
+	return e.IQIndex, e.Reserved, true
+}
+
+// ReserveProducer marks the set's steering slot as consumed: the next
+// M-dependent operation must not follow into the same P-IQ tail.
+func (m *MDP) ReserveProducer(ssid int32) {
+	if ssid >= 0 {
+		m.lfst[ssid].Reserved = true
+	}
+}
+
+// StoreIssued releases the LFST entry if this store performed the most
+// recent update to it, per the paper: "The LFST entry is released when the
+// store performing the most recent update to it is issued."
+func (m *MDP) StoreIssued(ssid int32, dynID uint64) {
+	if ssid < 0 {
+		return
+	}
+	e := &m.lfst[ssid]
+	if e.lastUpdater == dynID {
+		*e = lfstEntry{store: NoStore, lastUpdater: NoStore, IQIndex: NoIQ}
+	}
+}
+
+// StoreSquashed clears the LFST entry if the squashed store performed the
+// most recent update to it (§IV-F: flushed stores clear their LFST entry).
+func (m *MDP) StoreSquashed(ssid int32, dynID uint64) {
+	m.StoreIssued(ssid, dynID) // identical release rule
+}

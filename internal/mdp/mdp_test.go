@@ -1,0 +1,196 @@
+package mdp
+
+import "testing"
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{SSITEntries: 0, SSIDBits: 7},
+		{SSITEntries: 100, SSIDBits: 7},
+		{SSITEntries: 1024, SSIDBits: 0},
+		{SSITEntries: 1024, SSIDBits: 21},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestUntrainedPairHasNoDependence(t *testing.T) {
+	m := New(DefaultConfig())
+	if w, ssid := m.LoadDispatched(100); w != NoStore || ssid != -1 {
+		t.Errorf("untrained load: wait=%d ssid=%d", w, ssid)
+	}
+	if w, ssid := m.StoreDispatched(200, 1, NoIQ); w != NoStore || ssid != -1 {
+		t.Errorf("untrained store: wait=%d ssid=%d", w, ssid)
+	}
+}
+
+func TestViolationCreatesDependence(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100) // store pc=200, load pc=100
+
+	// Next iteration: store dispatches first, then the load must wait.
+	w, sSSID := m.StoreDispatched(200, 7, NoIQ)
+	if w != NoStore {
+		t.Errorf("first store of set told to wait for %d", w)
+	}
+	if sSSID < 0 {
+		t.Fatal("store has no SSID after training")
+	}
+	w, lSSID := m.LoadDispatched(100)
+	if w != 7 {
+		t.Errorf("load waits for %d, want 7", w)
+	}
+	if lSSID != sSSID {
+		t.Errorf("load SSID %d != store SSID %d", lSSID, sSSID)
+	}
+	if m.Stats().LoadWaits != 1 || m.Stats().Allocations != 1 {
+		t.Errorf("stats = %+v", m.Stats())
+	}
+}
+
+func TestStoreIssueReleasesEntry(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100)
+	_, ssid := m.StoreDispatched(200, 7, NoIQ)
+	m.StoreIssued(ssid, 7)
+	if w, _ := m.LoadDispatched(100); w != NoStore {
+		t.Errorf("load still waits for %d after store issued", w)
+	}
+}
+
+func TestStaleIssueDoesNotRelease(t *testing.T) {
+	// A second store updates the entry; the first store's issue must not
+	// clear the newer pointer.
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100)
+	_, ssid := m.StoreDispatched(200, 7, NoIQ)
+	m.StoreDispatched(200, 9, NoIQ) // newer dynamic instance
+	m.StoreIssued(ssid, 7)          // stale release
+	if w, _ := m.LoadDispatched(100); w != 9 {
+		t.Errorf("load waits for %d, want 9", w)
+	}
+}
+
+func TestStoresSerialiseWithinSet(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100)
+	m.StoreDispatched(200, 5, NoIQ)
+	w, _ := m.StoreDispatched(200, 8, NoIQ)
+	if w != 5 {
+		t.Errorf("second store waits for %d, want 5", w)
+	}
+	if m.Stats().StoreSerial != 1 {
+		t.Errorf("StoreSerial = %d", m.Stats().StoreSerial)
+	}
+}
+
+func TestMergeAdoptsSmallerSSID(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100) // set A
+	m.TrainViolation(300, 400) // set B
+	a, b := m.SSID(200), m.SSID(300)
+	if a == b {
+		t.Fatal("distinct violations shared an SSID")
+	}
+	m.TrainViolation(200, 400) // merge A and B members
+	if m.SSID(200) != m.SSID(400) {
+		t.Error("merge did not unify sets")
+	}
+	want := a
+	if b < a {
+		want = b
+	}
+	if m.SSID(400) != want {
+		t.Errorf("merged SSID = %d, want smaller of (%d,%d)", m.SSID(400), a, b)
+	}
+	if m.Stats().Merges != 1 {
+		t.Errorf("Merges = %d", m.Stats().Merges)
+	}
+}
+
+func TestOneSidedAssignment(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100)
+	ssid := m.SSID(200)
+	// New load joins the existing store's set.
+	m.TrainViolation(200, 101)
+	if m.SSID(101) != ssid {
+		t.Error("load did not adopt store's set")
+	}
+	// New store joins an existing load's set.
+	m.TrainViolation(201, 100)
+	if m.SSID(201) != ssid {
+		t.Error("store did not adopt load's set")
+	}
+}
+
+func TestProducerLocationLifecycle(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100)
+	_, ssid := m.StoreDispatched(200, 7, 3) // steered to P-IQ 3
+	iq, reserved, ok := m.ProducerLocation(ssid)
+	if !ok || iq != 3 || reserved {
+		t.Fatalf("ProducerLocation = %d,%v,%v", iq, reserved, ok)
+	}
+	m.ReserveProducer(ssid)
+	if _, reserved, _ := m.ProducerLocation(ssid); !reserved {
+		t.Error("ReserveProducer did not stick")
+	}
+	m.StoreIssued(ssid, 7)
+	if _, _, ok := m.ProducerLocation(ssid); ok {
+		t.Error("ProducerLocation valid after release")
+	}
+}
+
+func TestProducerLocationWithoutSteering(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100)
+	_, ssid := m.StoreDispatched(200, 7, NoIQ)
+	if _, _, ok := m.ProducerLocation(ssid); ok {
+		t.Error("ProducerLocation valid despite NoIQ steering")
+	}
+	if _, _, ok := m.ProducerLocation(-1); ok {
+		t.Error("ProducerLocation valid for SSID -1")
+	}
+}
+
+func TestStoreSquashedClearsEntry(t *testing.T) {
+	m := New(DefaultConfig())
+	m.TrainViolation(200, 100)
+	_, ssid := m.StoreDispatched(200, 7, 2)
+	m.StoreSquashed(ssid, 7)
+	if w, _ := m.LoadDispatched(100); w != NoStore {
+		t.Error("squashed store still blocks load")
+	}
+}
+
+// TestMDPPreventsRepeatViolation is the scenario from §II-A: once a pair
+// violates, the predictor must serialise future instances.
+func TestMDPPreventsRepeatViolation(t *testing.T) {
+	m := New(DefaultConfig())
+	const storePC, loadPC = 500, 600
+
+	// Iteration 0: no prediction → the load would have gone early and
+	// violated; the core trains the predictor.
+	if w, _ := m.LoadDispatched(loadPC); w != NoStore {
+		t.Fatal("cold load predicted dependent")
+	}
+	m.TrainViolation(storePC, loadPC)
+
+	// Iterations 1..10: dispatch store then load each round; the load must
+	// always be told to wait for that round's store instance.
+	for i := uint64(1); i <= 10; i++ {
+		_, ssid := m.StoreDispatched(storePC, i, NoIQ)
+		w, _ := m.LoadDispatched(loadPC)
+		if w != i {
+			t.Fatalf("round %d: load waits for %d", i, w)
+		}
+		m.StoreIssued(ssid, i)
+	}
+}

@@ -1,0 +1,136 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestDefaultConfigBuilds(t *testing.T) {
+	h, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.L1D == nil || h.L1I == nil || h.L2 == nil || h.L3 == nil || h.DRAM == nil {
+		t.Fatal("missing hierarchy level")
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2.Ways = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad L2 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.PrefetchTable = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("PrefetchTable=0 accepted")
+	}
+}
+
+func TestLatencyLaddering(t *testing.T) {
+	// Cold load goes to DRAM; the re-load hits L1 at 4 cycles; a load that
+	// evicted from L1 but not L2 costs the L2 path.
+	h := MustNew(DefaultConfig())
+	cold := h.Load(1, 0x100000, 0)
+	if cold < 100 {
+		t.Errorf("cold load done at %d, want DRAM-scale latency", cold)
+	}
+	warm := h.Load(1, 0x100000, cold) - cold
+	if warm != 4 {
+		t.Errorf("L1 hit latency = %d, want 4", warm)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := MustNew(DefaultConfig())
+	base := uint64(0x200000)
+	now := h.Load(1, base, 0)
+	// Thrash L1 set: L1D is 32 KiB 8-way → 64 sets → set stride 4096.
+	for i := 1; i <= 10; i++ {
+		now = h.Load(2, base+uint64(i)*4096, now)
+	}
+	if h.L1D.Contains(base) {
+		t.Skip("victim not evicted; L1 larger than expected")
+	}
+	start := now
+	done := h.Load(3, base, start)
+	lat := done - start
+	// Should be L1 miss + L2 hit ≈ 4+12, definitely < L3 latency.
+	if lat < 10 || lat > 40 {
+		t.Errorf("L2-hit latency = %d, want ≈16", lat)
+	}
+}
+
+func TestStreamingTriggersPrefetch(t *testing.T) {
+	h := MustNew(DefaultConfig())
+	now := uint64(0)
+	for i := 0; i < 64; i++ {
+		now = h.Load(7, uint64(0x400000+i*cache.LineSize), now) + 1
+	}
+	if h.Prefetcher.Stats().Issues == 0 {
+		t.Error("no prefetches on a unit-stride stream")
+	}
+	// Late-stream loads should be much faster than the cold ones.
+	coldLat := h.Load(8, 0x800000, now) - now
+	streamStart := now + 1000
+	streamDone := h.Load(7, uint64(0x400000+64*cache.LineSize), streamStart)
+	if streamDone-streamStart >= coldLat {
+		t.Errorf("prefetched stream load (%d) not faster than cold (%d)",
+			streamDone-streamStart, coldLat)
+	}
+}
+
+func TestStoreMarksDirtyAndWritesBack(t *testing.T) {
+	h := MustNew(DefaultConfig())
+	now := h.Store(0x300000, 0)
+	// Evict the stored line by filling its L1 set.
+	for i := 1; i <= 12; i++ {
+		now = h.Load(9, 0x300000+uint64(i)*4096, now)
+	}
+	if h.L1D.Stats().Writebacks == 0 {
+		t.Error("dirty eviction produced no writeback")
+	}
+}
+
+func TestFetchUsesL1I(t *testing.T) {
+	h := MustNew(DefaultConfig())
+	done := h.Fetch(0x1000, 0)
+	h.Fetch(0x1000, done+1)
+	s := h.L1I.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("L1I stats = %+v", s)
+	}
+	if h.L1D.Stats().Misses != 0 {
+		t.Error("fetch leaked into L1D")
+	}
+}
+
+func TestPointerChaseSlowerThanStream(t *testing.T) {
+	// End-to-end hierarchy sanity: random accesses over 8 MiB should have
+	// far higher average latency than a unit-stride sweep.
+	hRand := MustNew(DefaultConfig())
+	hSeq := MustNew(DefaultConfig())
+
+	var randTotal, seqTotal uint64
+	now := uint64(0)
+	seed := uint64(12345)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		addr := (seed >> 16) % (8 << 20) &^ 63
+		done := hRand.Load(5, 0x100000+addr, now)
+		randTotal += done - now
+		now = done
+	}
+	now = 0
+	for i := 0; i < n; i++ {
+		done := hSeq.Load(6, uint64(0x100000+i*cache.LineSize), now)
+		seqTotal += done - now
+		now = done + 2
+	}
+	if randTotal < seqTotal*3 {
+		t.Errorf("random total latency %d not ≫ sequential %d", randTotal, seqTotal)
+	}
+}

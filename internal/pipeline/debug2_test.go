@@ -1,0 +1,25 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestDebugMDPEffect inspects MDP predictor activity on the violation-heavy
+// kernel (diagnostic; assertions live in TestMDPReducesViolations).
+func TestDebugMDPEffect(t *testing.T) {
+	m := config.MustMachine(config.ArchOoO, 8, config.Options{MaxCycles: 2_000_000})
+	tr := traceOf(t, workload.StoreLoad(workload.Params{}), 20000)
+	p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(20000); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stats: %s", p.Stats().String())
+	t.Logf("mdp: %+v", p.MDP().Stats())
+}

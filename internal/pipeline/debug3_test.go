@@ -1,0 +1,32 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestDebugStencilMemory inspects cache/prefetch behaviour on the stencil
+// kernel (diagnostic).
+func TestDebugStencilMemory(t *testing.T) {
+	m := config.MustMachine(config.ArchOoO, 8, config.Options{MaxCycles: 10_000_000})
+	tr := traceOf(t, workload.Stencil(workload.Params{}), 40000)
+	p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Run(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("IPC=%.3f cycles=%d", s.IPC(), s.Cycles)
+	t.Logf("L1D: %+v", p.Mem().L1D.Stats())
+	t.Logf("L2 : %+v", p.Mem().L2.Stats())
+	t.Logf("L3 : %+v", p.Mem().L3.Stats())
+	t.Logf("PF : %+v", p.Mem().Prefetcher.Stats())
+	t.Logf("DRAM: %+v", p.Mem().DRAM.Stats())
+	t.Logf("delays: Ld=%+v LdC=%+v", s.Delay[1], s.Delay[2])
+	t.Logf("dispatch stalls=%d", s.DispatchStall)
+}

@@ -1,0 +1,31 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestDebugCESStoreLoad is a diagnostic harness kept for regression: it
+// runs the historically deadlock-prone combination and dumps pipeline
+// state if no forward progress happens.
+func TestDebugCESStoreLoad(t *testing.T) {
+	m := config.MustMachine(config.ArchCES, 8, config.Options{MaxCycles: 200000})
+	tr := traceOf(t, workload.StoreLoad(workload.Params{}), 4000)
+	p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(4000); err != nil {
+		t.Logf("stats: %s", p.Stats().String())
+		t.Logf("sched occupancy: %d", p.Scheduler().Occupancy())
+		for k, v := range p.Scheduler().Counters() {
+			t.Logf("  %s = %d", k, v)
+		}
+		t.Logf("debug: %s", fmt.Sprint(p.DebugState()))
+		t.Fatal(err)
+	}
+}

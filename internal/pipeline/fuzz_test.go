@@ -1,0 +1,107 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestFuzzSchedulerEquivalence is the cross-scheduler oracle: for randomly
+// generated programs, every microarchitecture must commit the identical
+// correct-path μop stream (same sequence numbers, in order, exactly once),
+// never violate issue-before-ready, and stay within the issue-width IPC
+// bound. Timing may differ; semantics may not.
+func TestFuzzSchedulerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	seeds := []uint64{1, 7, 42, 1234, 99999}
+	archs := config.AllArchs()
+	const ops = 5000
+
+	for _, seed := range seeds {
+		w := workload.Random(workload.RandomParams{Seed: seed})
+		tr := traceOf(t, w, ops)
+		for _, arch := range archs {
+			arch := arch
+			m := config.MustMachine(arch, 8, config.Options{MaxCycles: 2_000_000})
+			p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, arch, err)
+			}
+			next := uint64(0)
+			p.OnCommit = func(u *sched.UOp) {
+				if u.Seq() != next {
+					t.Fatalf("seed %d %s: commit seq %d, want %d", seed, arch, u.Seq(), next)
+				}
+				if u.IssueCycle < u.ReadyCycle || u.CompleteCycle <= u.IssueCycle {
+					t.Fatalf("seed %d %s: timing invariant broken at seq %d", seed, arch, u.Seq())
+				}
+				next++
+			}
+			s, err := p.Run(uint64(len(tr)))
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, arch, err, p.DebugState())
+			}
+			if next != uint64(len(tr)) {
+				t.Fatalf("seed %d %s: committed %d of %d", seed, arch, next, len(tr))
+			}
+			if ipc := s.IPC(); ipc <= 0 || ipc > 8 {
+				t.Fatalf("seed %d %s: IPC %f out of bounds", seed, arch, ipc)
+			}
+		}
+	}
+}
+
+// TestFuzzWideAndNarrow runs random programs through the 2- and 10-wide
+// configurations to exercise the scaled port maps and window sizes.
+func TestFuzzWideAndNarrow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	for _, width := range []int{2, 10} {
+		for _, arch := range []config.Arch{config.ArchOoO, config.ArchBallerino, config.ArchCASINO} {
+			w := workload.Random(workload.RandomParams{Seed: uint64(width) * 31})
+			tr := traceOf(t, w, 4000)
+			m := config.MustMachine(arch, width, config.Options{MaxCycles: 2_000_000})
+			p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Run(uint64(len(tr))); err != nil {
+				t.Fatalf("%d-wide %s: %v", width, arch, err)
+			}
+			if got := p.Stats().Committed; got != uint64(len(tr)) {
+				t.Fatalf("%d-wide %s: committed %d", width, arch, got)
+			}
+		}
+	}
+}
+
+// TestFuzzTinyWindows shrinks every structure to force continuous
+// backpressure, flushes and structural stalls.
+func TestFuzzTinyWindows(t *testing.T) {
+	for _, arch := range []config.Arch{config.ArchBallerino, config.ArchCES, config.ArchOoO} {
+		m := config.MustMachine(arch, 8, config.Options{
+			MaxCycles: 2_000_000,
+			NumPIQs:   2,
+			PIQDepth:  4,
+		})
+		m.Pipeline.ROBSize = 16
+		m.Pipeline.LQSize = 4
+		m.Pipeline.SQSize = 4
+		m.Pipeline.DecodeQueue = 8
+		w := workload.Random(workload.RandomParams{Seed: 5})
+		tr := traceOf(t, w, 3000)
+		p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(uint64(len(tr))); err != nil {
+			t.Fatalf("%s tiny windows: %v\n%s", arch, err, p.DebugState())
+		}
+	}
+}

@@ -1,0 +1,638 @@
+// Package pipeline implements the execution-driven, cycle-level core model
+// shared by every evaluated microarchitecture: fetch with TAGE+BTB, decode,
+// two-stage rename with recovery log, dispatch with issue-port arbitration,
+// a pluggable scheduler, execution over the Table I functional units and
+// memory hierarchy, a load queue / store queue with memory-order-violation
+// detection and replay, and in-order commit from a reorder buffer.
+//
+// Stages are evaluated commit-first each cycle so same-cycle structural
+// hazards resolve the way hardware pipelines do.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/mdp"
+	"repro/internal/mem"
+	"repro/internal/rename"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Config describes the pipeline surrounding the scheduler.
+type Config struct {
+	FetchWidth  int
+	RenameWidth int // decode/dispatch width
+	IssueWidth  int
+	CommitWidth int
+
+	DecodeQueue int // allocation-queue entries between decode and rename
+	ROBSize     int
+	LQSize      int
+	SQSize      int
+
+	// FrontLatency is the fetch+decode+rename depth in cycles; it offsets
+	// the decode→dispatch component of the delay breakdowns.
+	FrontLatency uint64
+	// RecoveryPenalty is charged on mispredict/violation recovery (Table I).
+	RecoveryPenalty uint64
+
+	Ports  *sched.PortMap
+	Rename rename.Config
+	MDP    mdp.Config
+	Mem    mem.Config
+	// UseMDP disables memory dependence prediction when false (§III-B's
+	// "MDP off" baseline); violations then recur freely.
+	UseMDP bool
+
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the 8-wide Table I pipeline (scheduler not included).
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      4,
+		RenameWidth:     4,
+		IssueWidth:      8,
+		CommitWidth:     8,
+		DecodeQueue:     64,
+		ROBSize:         224,
+		LQSize:          72,
+		SQSize:          56,
+		FrontLatency:    6,
+		RecoveryPenalty: 11,
+		Ports:           sched.Ports8Wide(),
+		Rename:          rename.DefaultConfig(),
+		MDP:             mdp.DefaultConfig(),
+		Mem:             mem.DefaultConfig(),
+		UseMDP:          true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Ports == nil {
+		return fmt.Errorf("pipeline: Ports is nil")
+	}
+	if c.IssueWidth != c.Ports.Width() {
+		return fmt.Errorf("pipeline: IssueWidth %d != port count %d", c.IssueWidth, c.Ports.Width())
+	}
+	if c.FetchWidth <= 0 || c.RenameWidth <= 0 || c.CommitWidth <= 0 {
+		return fmt.Errorf("pipeline: widths must be positive")
+	}
+	if c.ROBSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0 || c.DecodeQueue <= 0 {
+		return fmt.Errorf("pipeline: queue sizes must be positive")
+	}
+	return c.Rename.Validate()
+}
+
+// robEntry pairs an in-flight μop with its rename recovery record.
+type robEntry struct {
+	u   *sched.UOp
+	rec rename.Entry
+}
+
+// Pipeline is one core simulation instance over a dynamic trace.
+type Pipeline struct {
+	cfg Config
+
+	sched sched.Scheduler
+	rn    *rename.Renamer
+	pred  *bpred.Predictor
+	mdp   *mdp.MDP
+	mem   *mem.Hierarchy
+
+	trace []isa.DynInst
+
+	cycle uint64
+
+	// Front end.
+	fetchIdx        int // next trace index to fetch
+	fetchStallUntil uint64
+	decodeQ         []*decodeEntry
+
+	// Back end.
+	rob          []robEntry // in program order; index 0 is the oldest
+	lsq          *lsq.Queues
+	portInflight []int
+	divBusyUntil []uint64
+
+	// completions maps cycle → μops finishing execution then.
+	completions map[uint64][]*sched.UOp
+
+	// warmupCycles/warmupCommits record the state at the end of Warmup so
+	// reported statistics cover only the measured region.
+	warmupCycles  uint64
+	warmupCommits uint64
+
+	stats stats.Sim
+
+	// OnCommit, when non-nil, observes every committed μop in commit
+	// order. Used by tests and the figure harnesses.
+	OnCommit func(u *sched.UOp)
+}
+
+// decodeEntry is a decoded μop waiting for rename/dispatch. Rename happens
+// exactly once even if dispatch then stalls for several cycles.
+type decodeEntry struct {
+	u       *sched.UOp
+	renamed bool
+	rec     rename.Entry
+	// visibleAt is when the μop emerges from the fetch/decode pipeline
+	// and may be renamed (FrontLatency cycles after fetch).
+	visibleAt uint64
+}
+
+// SchedulerFactory builds the scheduler once the pipeline has created the
+// shared renamer and MDP (the scheduler may hold references to both).
+type SchedulerFactory func(rn *rename.Renamer, m *mdp.MDP) sched.Scheduler
+
+// New builds a pipeline over a dynamic trace.
+func New(cfg Config, trace []isa.DynInst, mk SchedulerFactory) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := mem.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := rename.New(cfg.Rename)
+	if err != nil {
+		return nil, err
+	}
+	m := mdp.New(cfg.MDP)
+	p := &Pipeline{
+		cfg:          cfg,
+		rn:           rn,
+		pred:         bpred.New(),
+		mdp:          m,
+		mem:          h,
+		lsq:          lsq.New(cfg.LQSize, cfg.SQSize),
+		trace:        trace,
+		portInflight: make([]int, cfg.Ports.Width()),
+		divBusyUntil: make([]uint64, cfg.Ports.Width()),
+		completions:  make(map[uint64][]*sched.UOp),
+	}
+	p.sched = mk(rn, m)
+	if p.sched == nil {
+		return nil, fmt.Errorf("pipeline: scheduler factory returned nil")
+	}
+	return p, nil
+}
+
+// Scheduler exposes the scheduler under test (for counters and energy).
+func (p *Pipeline) Scheduler() sched.Scheduler { return p.sched }
+
+// Stats returns the accumulated simulation counters.
+func (p *Pipeline) Stats() *stats.Sim { return &p.stats }
+
+// Mem exposes the memory hierarchy (for stats and energy accounting).
+func (p *Pipeline) Mem() *mem.Hierarchy { return p.mem }
+
+// MDP exposes the memory dependence predictor.
+func (p *Pipeline) MDP() *mdp.MDP { return p.mdp }
+
+// Renamer exposes the renamer (for energy accounting).
+func (p *Pipeline) Renamer() *rename.Renamer { return p.rn }
+
+// Predictor exposes the branch predictor.
+func (p *Pipeline) Predictor() *bpred.Predictor { return p.pred }
+
+// Cycle returns the current simulation cycle.
+func (p *Pipeline) Cycle() uint64 { return p.cycle }
+
+// DebugState renders a snapshot of the pipeline's head state, used when
+// diagnosing stalls.
+func (p *Pipeline) DebugState() string {
+	nl, ns := p.lsq.Counts()
+	s := fmt.Sprintf("cycle=%d fetchIdx=%d stallUntil=%d decodeQ=%d rob=%d lq=%d sq=%d\n",
+		p.cycle, p.fetchIdx, p.fetchStallUntil, len(p.decodeQ), len(p.rob), nl, ns)
+	if len(p.rob) > 0 {
+		u := p.rob[0].u
+		s += fmt.Sprintf("rob head: %v issued=%v complete=%d src=%v readyAt=[%d %d] mdpWait=%d cls=%v port=%d\n",
+			u.D, u.Issued, u.CompleteCycle, u.Src,
+			p.rn.ReadyAt(u.Src[0]), p.rn.ReadyAt(u.Src[1]), u.MDPWait, u.Cls, u.Port)
+	}
+	if len(p.decodeQ) > 0 {
+		de := p.decodeQ[0]
+		s += fmt.Sprintf("decode head: %v renamed=%v\n", de.u.D, de.renamed)
+	}
+	return s
+}
+
+// Warmup simulates until warmupCommits μops commit, then zeroes the
+// timing statistics while keeping all microarchitectural state (caches,
+// predictors, queues) warm — the paper's measurement methodology. Energy
+// accounting in callers should note that structure event counters
+// (scheduler, caches) keep accumulating across the warm-up.
+func (p *Pipeline) Warmup(warmupCommits uint64) error {
+	if _, err := p.Run(warmupCommits); err != nil {
+		return err
+	}
+	committedBase := p.stats.Committed
+	p.stats = stats.Sim{}
+	p.warmupCycles = p.cycle
+	p.warmupCommits = committedBase
+	return nil
+}
+
+// Run simulates until maxCommits μops commit (or the trace drains) and
+// returns the stats. It is an error to exceed cfg.MaxCycles.
+func (p *Pipeline) Run(maxCommits uint64) (*stats.Sim, error) {
+	for p.stats.Committed < maxCommits {
+		if p.drained() {
+			break
+		}
+		p.step()
+		if p.cfg.MaxCycles > 0 && p.cycle > p.cfg.MaxCycles {
+			return &p.stats, fmt.Errorf("pipeline: exceeded %d cycles (deadlock?) at %s",
+				p.cfg.MaxCycles, p.stats.String())
+		}
+	}
+	p.stats.Cycles = p.cycle - p.warmupCycles
+	return &p.stats, nil
+}
+
+// drained reports whether every fetched μop has committed and no more can
+// be fetched.
+func (p *Pipeline) drained() bool {
+	return p.fetchIdx >= len(p.trace) && len(p.rob) == 0 && len(p.decodeQ) == 0
+}
+
+// step advances one cycle, stages in reverse pipeline order.
+func (p *Pipeline) step() {
+	p.commit()
+	p.processCompletions()
+	p.issue()
+	p.dispatch()
+	p.fetch()
+	p.stats.OccupancySum += uint64(p.sched.Occupancy())
+	p.cycle++
+}
+
+// --- Commit ---
+
+func (p *Pipeline) commit() {
+	for n := 0; n < p.cfg.CommitWidth && len(p.rob) > 0; n++ {
+		e := p.rob[0]
+		if !e.u.Issued || e.u.CompleteCycle > p.cycle {
+			return
+		}
+		p.rob = p.rob[1:]
+		p.rn.Commit(e.rec)
+		if e.u.D.IsStore() {
+			// Stores write the data cache at commit and leave the SQ.
+			p.mem.Store(e.u.D.Addr, p.cycle)
+		}
+		p.lsq.Remove(e.u)
+		p.stats.Committed++
+		p.stats.Record(e.u)
+		if p.OnCommit != nil {
+			p.OnCommit(e.u)
+		}
+	}
+}
+
+// --- Execute / writeback events ---
+
+func (p *Pipeline) processCompletions() {
+	ops := p.completions[p.cycle]
+	if ops == nil {
+		return
+	}
+	delete(p.completions, p.cycle)
+	for _, u := range ops {
+		if u.Squashed {
+			continue
+		}
+		p.sched.Complete(u.Dst, p.cycle)
+		switch {
+		case u.D.IsStore():
+			// The store's address is now resolved: detect younger loads
+			// that issued too early (memory order violation, §II-A).
+			p.checkViolation(u)
+		case u.D.IsBranch() && u.Mispred:
+			// Fetch stopped at this branch (sentinel stall); resume after
+			// the recovery penalty. No younger μop entered the pipeline,
+			// so overwriting the stall is safe.
+			p.fetchStallUntil = p.cycle + p.cfg.RecoveryPenalty
+		}
+	}
+}
+
+// checkViolation flushes from the oldest younger load that read the same
+// word before this store's address was known.
+func (p *Pipeline) checkViolation(st *sched.UOp) {
+	victim := p.lsq.ViolatingLoad(st)
+	if victim == nil {
+		return
+	}
+	if debugViolations {
+		fmt.Printf("VIOLATION cyc=%d store seq=%d pc=%d issue=%d done=%d | load seq=%d pc=%d issue=%d mdpWait=%d blockedSince=%d\n",
+			p.cycle, st.Seq(), st.D.PC, st.IssueCycle, st.CompleteCycle,
+			victim.Seq(), victim.D.PC, victim.IssueCycle, victim.MDPWait, victim.MDPBlockedSince)
+	}
+	p.stats.Violations++
+	if p.cfg.UseMDP {
+		p.mdp.TrainViolation(uint64(st.D.PC), uint64(victim.D.PC))
+	}
+	p.flushFrom(victim.Seq())
+}
+
+// flushFrom squashes every μop with seq ≥ bound and redirects fetch to it.
+func (p *Pipeline) flushFrom(bound uint64) {
+	p.stats.Flushes++
+
+	// RAT restoration must unwind renames in reverse rename order. The
+	// decode queue holds only μops younger than everything in the ROB, so
+	// its (renamed) entries are undone first, youngest first.
+	for i := len(p.decodeQ) - 1; i >= 0; i-- {
+		de := p.decodeQ[i]
+		if de.renamed {
+			p.squash(de.u, de.rec)
+		}
+	}
+	p.decodeQ = p.decodeQ[:0]
+
+	cut := len(p.rob)
+	for i, e := range p.rob {
+		if e.u.Seq() >= bound {
+			cut = i
+			break
+		}
+	}
+	for i := len(p.rob) - 1; i >= cut; i-- {
+		p.squash(p.rob[i].u, p.rob[i].rec)
+	}
+	p.rob = p.rob[:cut]
+
+	p.sched.Flush(bound)
+
+	// Redirect fetch. Overwrite any pending stall: a squashed mispredicted
+	// branch would otherwise leave its (now meaningless) sentinel behind.
+	p.fetchIdx = int(bound)
+	p.fetchStallUntil = p.cycle + p.cfg.RecoveryPenalty
+}
+
+// squash undoes one μop's side effects (reverse program order).
+func (p *Pipeline) squash(u *sched.UOp, rec rename.Entry) {
+	u.Squashed = true
+	p.rn.Squash(rec)
+	if !u.Issued {
+		p.portInflight[u.Port]--
+	}
+	p.lsq.Remove(u)
+	if u.D.IsStore() && p.cfg.UseMDP {
+		p.mdp.StoreSquashed(u.SSID, u.Seq())
+	}
+}
+
+// --- Issue / execute ---
+
+// mdpResolved reports whether u's predicted producer store has issued.
+func (p *Pipeline) mdpResolved(u *sched.UOp) bool {
+	if u.MDPWait == mdp.NoStore {
+		return true
+	}
+	st := p.lsq.StoreBySeq(u.MDPWait)
+	if st == nil {
+		return true // the store issued & committed, or was squashed
+	}
+	// The wait clears the cycle after the store's grant: the LFST release
+	// propagates through the select logic, so an M-dependent μop cannot
+	// be granted in the same cycle.
+	return st.Issued && st.IssueCycle < p.cycle
+}
+
+func (p *Pipeline) ready(u *sched.UOp) bool {
+	if !p.rn.Ready(u.Src[0], p.cycle) || !p.rn.Ready(u.Src[1], p.cycle) {
+		return false
+	}
+	if u.D.Op.IsMem() && !p.mdpResolved(u) {
+		// Honouring the wait cannot deadlock: every wait (register, FIFO
+		// position, LFST) targets a strictly older μop, so the oldest
+		// blocked μop always has an executing producer.
+		if u.MDPBlockedSince == 0 {
+			u.MDPBlockedSince = p.cycle
+		}
+		return false
+	}
+	if !sched.Pipelined(u.D.Op) && p.divBusyUntil[u.Port] > p.cycle {
+		return false
+	}
+	return true
+}
+
+func (p *Pipeline) issue() {
+	ctx := &sched.IssueCtx{
+		Ready: p.ready,
+		Grant: p.grant,
+	}
+	p.sched.Issue(p.cycle, ctx)
+}
+
+// grant executes u: computes its completion time through the functional
+// units, store queue and memory hierarchy, and wakes up consumers through
+// the P-SCB.
+func (p *Pipeline) grant(u *sched.UOp) {
+	u.Issued = true
+	u.IssueCycle = p.cycle
+	p.stats.Issued++
+	p.portInflight[u.Port]--
+	u.ReadyCycle = p.readyCycleOf(u)
+
+	lat := sched.Latency(u.D.Op)
+	if !sched.Pipelined(u.D.Op) {
+		p.divBusyUntil[u.Port] = p.cycle + lat
+	}
+	done := p.cycle + lat
+
+	switch {
+	case u.D.IsLoad():
+		done = p.executeLoad(u)
+	case u.D.IsStore():
+		// AGU resolves the address at done; LFST releases at issue.
+		if p.cfg.UseMDP {
+			p.mdp.StoreIssued(u.SSID, u.Seq())
+		}
+	}
+
+	u.CompleteCycle = done
+	if u.Dst != rename.PhysNone {
+		p.rn.SetReadyAt(u.Dst, done)
+	}
+	p.completions[done] = append(p.completions[done], u)
+}
+
+// readyCycleOf reconstructs when u's operands became available (for the
+// dispatch→ready component of the delay breakdowns).
+func (p *Pipeline) readyCycleOf(u *sched.UOp) uint64 {
+	r := u.DispatchCycle
+	for _, s := range u.Src {
+		if at := p.rn.ReadyAt(s); at != rename.NeverReady && at > r {
+			r = at
+		}
+	}
+	return r
+}
+
+// executeLoad performs AGU + store-queue search + cache access and returns
+// the completion cycle.
+func (p *Pipeline) executeLoad(u *sched.UOp) uint64 {
+	aguDone := p.cycle + sched.Latency(isa.OpLoad)
+	// Store-to-load forwarding: the youngest older store to the same word
+	// whose address/data resolve by the load's read (aguDone).
+	if fwd := p.lsq.ForwardingStore(u, aguDone); fwd != nil {
+		return aguDone + 2 // forwarding latency
+	}
+	return p.mem.Load(uint64(u.D.PC), u.D.Addr, aguDone)
+}
+
+// --- Rename / dispatch ---
+
+func (p *Pipeline) dispatch() {
+	for n := 0; n < p.cfg.RenameWidth && len(p.decodeQ) > 0; n++ {
+		de := p.decodeQ[0]
+		u := de.u
+		if de.visibleAt > p.cycle {
+			return // still in the fetch/decode/rename pipeline
+		}
+		if len(p.rob) >= p.cfg.ROBSize || !p.lsq.CanAccept(u) {
+			p.stats.DispatchStall++
+			return
+		}
+		if !de.renamed {
+			if !p.renameOne(de) {
+				p.stats.DispatchStall++
+				return
+			}
+		}
+		if !p.sched.Dispatch(u, p.cycle) {
+			p.stats.DispatchStall++
+			return
+		}
+		// Accepted: enter ROB and LSQ.
+		u.DispatchCycle = p.cycle
+		u.ROB = len(p.rob)
+		p.rob = append(p.rob, robEntry{u: u, rec: de.rec})
+		p.lsq.Insert(u)
+		p.decodeQ = p.decodeQ[1:]
+	}
+}
+
+// renameOne performs the two-stage rename of §IV-B for the head μop:
+// RAT lookup, free-list allocation, recovery-log append, load-dependence
+// classification and MDP dispatch.
+func (p *Pipeline) renameOne(de *decodeEntry) bool {
+	u := de.u
+	src, dst, rec, ok := p.rn.Rename(u.D)
+	if !ok {
+		return false
+	}
+	u.Src = src
+	u.Dst = dst
+	de.rec = rec
+	de.renamed = true
+
+	// Ld/LdC/Rst classification (§II-C): a μop is LdC when any source's
+	// producer is an incomplete load or itself load-dependent.
+	switch {
+	case u.D.IsLoad():
+		u.Cls = sched.ClassLd
+		p.rn.SetLoadDep(dst, true)
+	default:
+		dep := false
+		for _, s := range src {
+			if s == rename.PhysNone {
+				continue
+			}
+			if p.rn.ReadyAt(s) > p.cycle && p.rn.LoadDep(s) {
+				dep = true
+			}
+		}
+		if dep {
+			u.Cls = sched.ClassLdC
+		} else {
+			u.Cls = sched.ClassRst
+		}
+		p.rn.SetLoadDep(dst, dep)
+	}
+
+	// Memory dependence prediction at dispatch (§II-A).
+	u.MDPWait = mdp.NoStore
+	u.SSID = -1
+	if p.cfg.UseMDP {
+		switch {
+		case u.D.IsLoad():
+			u.MDPWait, u.SSID = p.mdp.LoadDispatched(uint64(u.D.PC))
+		case u.D.IsStore():
+			u.MDPWait, u.SSID = p.mdp.StoreDispatched(uint64(u.D.PC), u.Seq(), mdp.NoIQ)
+		}
+	}
+
+	// Issue-port arbitration (§II-A): least-loaded suitable port.
+	u.Port = p.cfg.Ports.Pick(u.D.Op, p.portInflight)
+	p.portInflight[u.Port]++
+	return true
+}
+
+// --- Fetch / decode ---
+
+func (p *Pipeline) fetch() {
+	if p.cycle < p.fetchStallUntil {
+		return
+	}
+	for n := 0; n < p.cfg.FetchWidth; n++ {
+		if p.fetchIdx >= len(p.trace) || len(p.decodeQ) >= p.cfg.DecodeQueue {
+			return
+		}
+		d := &p.trace[p.fetchIdx]
+
+		// Instruction cache: 4-byte slots; a miss stalls the front end.
+		iAddr := uint64(d.PC) * 4
+		if fdone := p.mem.Fetch(iAddr, p.cycle); fdone > p.cycle+p.cfg.Mem.L1I.HitLatency {
+			p.fetchStallUntil = fdone
+			return
+		}
+
+		u := &sched.UOp{
+			D:           d,
+			DecodeCycle: p.cycle + 2, // after the fetch and decode stages
+			MDPWait:     mdp.NoStore,
+			SSID:        -1,
+		}
+		p.stats.Fetched++
+		p.decodeQ = append(p.decodeQ, &decodeEntry{u: u, visibleAt: p.cycle + p.cfg.FrontLatency})
+		p.fetchIdx++
+
+		if d.IsBranch() {
+			p.stats.Branches++
+			predTaken, tgt, known := p.pred.Predict(uint64(d.PC))
+			effTaken := predTaken && known
+			predNext := d.PC + 1
+			if effTaken {
+				predNext = tgt
+			}
+			p.pred.Update(uint64(d.PC), d.Taken, d.Next)
+			if predNext != d.Next {
+				// Mispredict: the front end follows the wrong path, so
+				// fetch stops here until the branch resolves and the
+				// pipeline recovers (§IV-F).
+				p.stats.Mispredicts++
+				u.Mispred = true
+				p.fetchStallUntil = ^uint64(0) >> 1 // resolved at completion
+				return
+			}
+			if d.Taken {
+				return // a taken branch ends the fetch group
+			}
+		}
+	}
+}
+
+// debugViolations enables verbose violation tracing for diagnostics.
+var debugViolations = false

@@ -1,0 +1,176 @@
+// Package prog provides a builder for μop programs and a functional
+// execution engine that turns a program into the dynamic μop stream the
+// timing simulator consumes.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Label identifies a branch target created by the builder.
+type Label int
+
+// Program is an assembled μop program plus its initial memory image.
+type Program struct {
+	Name  string
+	Insts []isa.Inst
+	// InitMem seeds memory before execution: address → 64-bit value.
+	InitMem map[uint64]int64
+	// InitReg seeds architectural registers before execution.
+	InitReg map[isa.Reg]int64
+}
+
+// Builder assembles a Program instruction by instruction. Branch targets are
+// created with NewLabel and placed with Bind; unresolved labels at Build time
+// are an error.
+type Builder struct {
+	name    string
+	insts   []isa.Inst
+	labels  []int // label → instruction index, -1 while unbound
+	patches []patch
+	initMem map[uint64]int64
+	initReg map[isa.Reg]int64
+}
+
+type patch struct {
+	inst  int
+	label Label
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		initMem: make(map[uint64]int64),
+		initReg: make(map[isa.Reg]int64),
+	}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// NewLabel creates a fresh, unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind binds l to the next emitted instruction.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		panic(fmt.Sprintf("prog: label %d bound twice", l))
+	}
+	b.labels[l] = len(b.insts)
+}
+
+// SetMem seeds an initial memory word.
+func (b *Builder) SetMem(addr uint64, v int64) { b.initMem[addr&^7] = v }
+
+// SetReg seeds an initial register value.
+func (b *Builder) SetReg(r isa.Reg, v int64) { b.initReg[r] = v }
+
+func (b *Builder) emit(in isa.Inst) {
+	b.insts = append(b.insts, in)
+}
+
+// MovImm emits dst = imm.
+func (b *Builder) MovImm(dst isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpIntALU, Fn: isa.FnMovImm, Dst: dst, Src1: isa.RegNone, Src2: isa.RegNone, Imm: imm})
+}
+
+// ALU emits an integer ALU operation dst = fn(src1, src2) + (imm where applicable).
+func (b *Builder) ALU(fn isa.Fn, dst, src1, src2 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpIntALU, Fn: fn, Dst: dst, Src1: src1, Src2: src2, Imm: imm})
+}
+
+// AddImm emits dst = src + imm.
+func (b *Builder) AddImm(dst, src isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpIntALU, Fn: isa.FnAdd, Dst: dst, Src1: src, Src2: isa.RegNone, Imm: imm})
+}
+
+// Add emits dst = src1 + src2.
+func (b *Builder) Add(dst, src1, src2 isa.Reg) { b.ALU(isa.FnAdd, dst, src1, src2, 0) }
+
+// Sub emits dst = src1 - src2.
+func (b *Builder) Sub(dst, src1, src2 isa.Reg) { b.ALU(isa.FnSub, dst, src1, src2, 0) }
+
+// Mix emits dst = mix(src1, src2, imm), a cheap hash useful for
+// data-dependent control flow in synthetic kernels.
+func (b *Builder) Mix(dst, src1, src2 isa.Reg, imm int64) {
+	b.ALU(isa.FnMix, dst, src1, src2, imm)
+}
+
+// IntMul emits a multiply-class μop dst = src1 * src2.
+func (b *Builder) IntMul(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpIntMul, Fn: isa.FnMul, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// IntDiv emits a divide-class μop dst = src1 / src2.
+func (b *Builder) IntDiv(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpIntDiv, Fn: isa.FnDiv, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FpAdd emits a floating-point-add-class μop.
+func (b *Builder) FpAdd(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFpAdd, Fn: isa.FnAdd, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FpSub emits a floating-point-subtract μop (FpAdd class).
+func (b *Builder) FpSub(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFpAdd, Fn: isa.FnSub, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FpMul emits a floating-point-multiply-class μop.
+func (b *Builder) FpMul(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFpMul, Fn: isa.FnMul, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FpDiv emits a floating-point-divide-class μop.
+func (b *Builder) FpDiv(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFpDiv, Fn: isa.FnDiv, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Load emits dst = mem[base+imm].
+func (b *Builder) Load(dst, base isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: isa.RegNone, Src2: isa.RegNone, Base: base, Imm: imm})
+}
+
+// Store emits mem[base+imm] = data.
+func (b *Builder) Store(data, base isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpStore, Dst: isa.RegNone, Src1: data, Src2: isa.RegNone, Base: base, Imm: imm})
+}
+
+// Branch emits a conditional branch on src to label.
+func (b *Builder) Branch(cond isa.BrCond, src isa.Reg, l Label) {
+	b.patches = append(b.patches, patch{inst: len(b.insts), label: l})
+	b.emit(isa.Inst{Op: isa.OpBranch, Cond: cond, Src1: src, Src2: isa.RegNone, Dst: isa.RegNone})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(l Label) { b.Branch(isa.BrAlways, isa.RegNone, l) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() {
+	b.emit(isa.Inst{Op: isa.OpNop, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+}
+
+// Build resolves labels and returns the finished Program. It panics on
+// unbound labels, which indicates a bug in the kernel generator.
+func (b *Builder) Build() *Program {
+	b.emit(isa.Inst{Op: isa.OpNop, Halt: true, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	for _, p := range b.patches {
+		tgt := b.labels[p.label]
+		if tgt == -1 {
+			panic(fmt.Sprintf("prog: program %q: unbound label %d", b.name, p.label))
+		}
+		b.insts[p.inst].Target = tgt
+	}
+	return &Program{
+		Name:    b.name,
+		Insts:   b.insts,
+		InitMem: b.initMem,
+		InitReg: b.initReg,
+	}
+}

@@ -1,0 +1,188 @@
+package prog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// ErrFuel is returned when functional execution exceeds its μop budget
+// without reaching the halt instruction.
+var ErrFuel = errors.New("prog: out of fuel before halt")
+
+// ArchState is the architectural state of the machine: registers and a
+// sparse 8-byte-word memory.
+type ArchState struct {
+	Regs [isa.NumArchRegs]int64
+	Mem  map[uint64]int64
+}
+
+// NewArchState returns a zeroed state with an empty memory.
+func NewArchState() *ArchState {
+	return &ArchState{Mem: make(map[uint64]int64)}
+}
+
+// Clone deep-copies the state.
+func (s *ArchState) Clone() *ArchState {
+	c := &ArchState{Regs: s.Regs, Mem: make(map[uint64]int64, len(s.Mem))}
+	for k, v := range s.Mem {
+		c.Mem[k] = v
+	}
+	return c
+}
+
+// LoadWord reads the 8-byte-aligned word containing addr.
+func (s *ArchState) LoadWord(addr uint64) int64 { return s.Mem[addr&^7] }
+
+// StoreWord writes the 8-byte-aligned word containing addr.
+func (s *ArchState) StoreWord(addr uint64, v int64) { s.Mem[addr&^7] = v }
+
+// mix is the FnMix semantic: a cheap invertible-ish hash used by synthetic
+// kernels to derive data-dependent branch conditions and addresses.
+func mix(a, b, imm int64) int64 {
+	x := uint64(a)*0x9E3779B97F4A7C15 ^ uint64(b) + uint64(imm)
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return int64(x)
+}
+
+// evalALU computes the arithmetic result for ALU-class μops.
+func evalALU(fn isa.Fn, a, b, imm int64) int64 {
+	switch fn {
+	case isa.FnAdd:
+		return a + b + imm
+	case isa.FnSub:
+		return a - b + imm
+	case isa.FnMul:
+		return a * b
+	case isa.FnDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.FnAnd:
+		return a & b
+	case isa.FnOr:
+		return a | b
+	case isa.FnXor:
+		return a ^ b
+	case isa.FnShl:
+		return a << (uint64(b) & 63)
+	case isa.FnShr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case isa.FnSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.FnMovImm:
+		return imm
+	case isa.FnMix:
+		return mix(a, b, imm)
+	default:
+		panic(fmt.Sprintf("prog: unknown fn %v", fn))
+	}
+}
+
+// Trace is the fully materialised dynamic μop stream of one program run,
+// together with the final architectural state (the oracle for end-to-end
+// timing-vs-functional checks).
+type Trace struct {
+	Program *Program
+	Ops     []isa.DynInst
+	Final   *ArchState
+	// LoadValues[i] is the value loaded by Ops[i] if it is a load
+	// (used by store-to-load forwarding checks in tests).
+	LoadValues map[uint64]int64 // seq → value
+}
+
+// Execute runs the program functionally and returns its dynamic trace.
+// maxOps bounds the dynamic μop count (the trace excludes the halt pseudo-op
+// and OpNop padding never enters the stream is false: nops are traced so the
+// front-end sees them, matching a real fetch stream).
+func Execute(p *Program, maxOps int) (*Trace, error) {
+	st := NewArchState()
+	for r, v := range p.InitReg {
+		st.Regs[r] = v
+	}
+	for a, v := range p.InitMem {
+		st.Mem[a] = v
+	}
+
+	tr := &Trace{
+		Program:    p,
+		Final:      st,
+		LoadValues: make(map[uint64]int64),
+	}
+	pc := 0
+	for len(tr.Ops) < maxOps {
+		if pc < 0 || pc >= len(p.Insts) {
+			return nil, fmt.Errorf("prog: program %q: pc %d out of range", p.Name, pc)
+		}
+		in := &p.Insts[pc]
+		if in.Halt {
+			return tr, nil
+		}
+		d := isa.DynInst{
+			Seq:  uint64(len(tr.Ops)),
+			PC:   pc,
+			Op:   in.Op,
+			Fn:   in.Fn,
+			Cond: in.Cond,
+			Dst:  in.Dst,
+			Size: 8,
+		}
+		next := pc + 1
+		switch in.Op {
+		case isa.OpNop:
+			d.Src1, d.Src2 = isa.RegNone, isa.RegNone
+		case isa.OpLoad:
+			d.Src1, d.Src2 = in.Base, isa.RegNone
+			d.Addr = uint64(st.Regs[in.Base]+in.Imm) &^ 7
+			v := st.LoadWord(d.Addr)
+			st.Regs[in.Dst] = v
+			tr.LoadValues[d.Seq] = v
+		case isa.OpStore:
+			d.Src1, d.Src2 = in.Base, in.Src1 // base, data
+			d.Addr = uint64(st.Regs[in.Base]+in.Imm) &^ 7
+			st.StoreWord(d.Addr, st.Regs[in.Src1])
+		case isa.OpBranch:
+			d.Src1, d.Src2 = in.Src1, isa.RegNone
+			var v int64
+			if in.Src1.Valid() {
+				v = st.Regs[in.Src1]
+			}
+			d.Taken = in.Cond.Eval(v)
+			if d.Taken {
+				next = in.Target
+			}
+		default: // ALU classes
+			d.Src1, d.Src2 = in.Src1, in.Src2
+			var a, bv int64
+			if in.Src1.Valid() {
+				a = st.Regs[in.Src1]
+			}
+			if in.Src2.Valid() {
+				bv = st.Regs[in.Src2]
+			}
+			st.Regs[in.Dst] = evalALU(in.Fn, a, bv, in.Imm)
+		}
+		d.Next = next
+		tr.Ops = append(tr.Ops, d)
+		pc = next
+	}
+	return tr, ErrFuel
+}
+
+// MustExecute is Execute but tolerates fuel exhaustion: kernels are
+// typically infinite-friendly loops that the caller truncates at maxOps.
+// Genuine execution errors still panic.
+func MustExecute(p *Program, maxOps int) *Trace {
+	tr, err := Execute(p, maxOps)
+	if err != nil && !errors.Is(err, ErrFuel) {
+		panic(err)
+	}
+	return tr
+}

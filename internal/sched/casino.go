@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"repro/internal/rename"
+)
+
+// CASINO is the cascaded in-order scheduler of §II-B2: one or more
+// speculative in-order IQs (S-IQs) ahead of a final in-order IQ. Each cycle
+// every S-IQ examines a speculative scheduling window at its head, issues
+// the ready μops immediately, and passes the preceding non-ready μops to
+// the next queue. The final queue issues strictly in program order.
+type CASINO struct {
+	queues []fifo // queues[0] is S-IQ0 (dispatch target); last is the in-order IQ
+	window int    // μops examined per S-IQ per cycle (read ports)
+	pass   int    // μops passed to the next queue per cycle (write ports)
+	width  int
+
+	events EnergyEvents
+	ports  PortMask
+	issued uint64
+	passed uint64
+}
+
+// NewCASINO builds the cascade. sizes lists every queue's capacity in
+// front-to-back order (Table II 8-wide: 8, 40, 40, 8). window and pass are
+// the per-queue read/write port counts (4 at 8-wide).
+func NewCASINO(sizes []int, window, pass, width int) *CASINO {
+	s := &CASINO{
+		queues: make([]fifo, len(sizes)),
+		window: window, pass: pass, width: width,
+	}
+	for i, n := range sizes {
+		s.queues[i].cap = n
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *CASINO) Name() string { return "CASINO" }
+
+// Capacity implements Scheduler.
+func (s *CASINO) Capacity() int {
+	n := 0
+	for i := range s.queues {
+		n += s.queues[i].cap
+	}
+	return n
+}
+
+// Occupancy implements Scheduler.
+func (s *CASINO) Occupancy() int {
+	n := 0
+	for i := range s.queues {
+		n += s.queues[i].len()
+	}
+	return n
+}
+
+// Dispatch implements Scheduler: μops enter the first S-IQ in order.
+func (s *CASINO) Dispatch(u *UOp, _ uint64) bool {
+	if s.queues[0].full() {
+		return false
+	}
+	s.queues[0].push(u)
+	s.events.QueueWrites++
+	return true
+}
+
+// Issue implements Scheduler. Queues are processed back to front so that
+// older μops get issue-port priority and same-cycle passes cannot teleport
+// a μop through several queues.
+func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
+	s.ports.Reset()
+	portUsed := &s.ports
+	granted := 0
+
+	// Final in-order IQ: strict program-order issue from the head.
+	last := &s.queues[len(s.queues)-1]
+	s.events.SelectInputs += uint64(s.width * s.window * len(s.queues))
+	for n := 0; n < s.window && !last.empty() && granted < s.width; n++ {
+		u := last.head()
+		s.events.QueueReads++
+		s.events.PSCBReads += 2
+		if portUsed.Used(u.Port) || !ctx.Ready(u) {
+			break // in-order: the head blocks everything younger
+		}
+		ctx.Grant(u)
+		s.events.PayloadReads++
+		portUsed.Set(u.Port)
+		last.pop()
+		s.issued++
+		granted++
+	}
+
+	// S-IQs, oldest (deepest) first: speculative issue + pass-ahead.
+	for qi := len(s.queues) - 2; qi >= 0; qi-- {
+		q := &s.queues[qi]
+		next := &s.queues[qi+1]
+		examine := s.window
+		if q.len() < examine {
+			examine = q.len()
+		}
+		issuedMask := make([]bool, examine)
+		for n := 0; n < examine; n++ {
+			u := q.buf[n]
+			s.events.QueueReads++
+			s.events.PSCBReads += 2
+			if granted >= s.width || portUsed.Used(u.Port) || !ctx.Ready(u) {
+				continue
+			}
+			ctx.Grant(u)
+			s.events.PayloadReads++
+			portUsed.Set(u.Port)
+			issuedMask[n] = true
+			s.issued++
+			granted++
+		}
+		// Remove issued μops and pass the leading non-issued examined μops
+		// to the next queue, bounded by its write ports and capacity.
+		var keep []*UOp
+		passedHere := 0
+		for n := 0; n < examine; n++ {
+			if issuedMask[n] {
+				continue
+			}
+			if passedHere < s.pass && !next.full() {
+				next.push(q.buf[n])
+				s.events.QueueReads++
+				s.events.QueueWrites++ // the copy the paper charges CASINO for
+				s.passed++
+				passedHere++
+				continue
+			}
+			keep = append(keep, q.buf[n])
+		}
+		q.buf = append(keep, q.buf[examine:]...)
+	}
+}
+
+// Complete implements Scheduler. Readiness is re-examined at queue heads.
+func (s *CASINO) Complete(rename.PhysReg, uint64) {}
+
+// Flush implements Scheduler. μops are ordered oldest-last-queue, but each
+// individual queue is in program order, so truncate each.
+func (s *CASINO) Flush(seq uint64) {
+	for i := range s.queues {
+		s.queues[i].flushFrom(seq)
+	}
+}
+
+// Energy implements Scheduler.
+func (s *CASINO) Energy() EnergyEvents { return s.events }
+
+// Counters implements Scheduler.
+func (s *CASINO) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"issued": s.issued,
+		"passed": s.passed,
+	}
+}
+
+var _ Scheduler = (*CASINO)(nil)

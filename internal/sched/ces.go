@@ -1,0 +1,248 @@
+package sched
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mdp"
+	"repro/internal/rename"
+)
+
+// fifo is a bounded in-order queue of μops used by the clustered designs.
+type fifo struct {
+	buf []*UOp
+	cap int
+}
+
+func (q *fifo) empty() bool { return len(q.buf) == 0 }
+func (q *fifo) full() bool  { return len(q.buf) >= q.cap }
+func (q *fifo) len() int    { return len(q.buf) }
+func (q *fifo) head() *UOp  { return q.buf[0] }
+func (q *fifo) push(u *UOp) { q.buf = append(q.buf, u) }
+func (q *fifo) pop() *UOp   { u := q.buf[0]; q.buf = q.buf[1:]; return u }
+func (q *fifo) tail() *UOp  { return q.buf[len(q.buf)-1] }
+
+// flushFrom drops every μop with seq ≥ bound. Entries are in program order
+// within a queue, so this truncates a suffix.
+func (q *fifo) flushFrom(bound uint64) {
+	for i, u := range q.buf {
+		if u.Seq() >= bound {
+			q.buf = q.buf[:i]
+			return
+		}
+	}
+}
+
+// CES is the complexity-effective superscalar scheduler of §II-B1:
+// a cluster of parallel in-order queues (P-IQs), each holding one
+// dependence chain, with steering at dispatch and per-queue-head issue.
+//
+// With MDA enabled it additionally applies Ballerino's M-dependence-aware
+// steering (the "CES + MDA steering" bar of Figure 13).
+type CES struct {
+	iqs   []fifo
+	rn    *rename.Renamer
+	mdp   *mdp.MDP
+	mda   bool
+	width int
+
+	events EnergyEvents
+	ports  PortMask
+
+	// Figure 4 counters: steering outcomes split by dispatch readiness.
+	steerDC       uint64
+	steerM        uint64
+	allocReady    uint64
+	allocNonReady uint64
+	stallReady    uint64
+	stallNonReady uint64
+	issued        uint64
+
+	// Figure 6a counters: what P-IQ heads do each cycle.
+	headIssue    uint64 // head issued
+	headStallM   uint64 // head is a load/store blocked by a predicted M-dep
+	headStallDep uint64 // head waits for register data
+	headEmpty    uint64 // queue empty
+}
+
+// NewCES builds a CES scheduler with n P-IQs of the given depth. rn is the
+// shared physical-register scoreboard; m (with mda=true) enables
+// M-dependence-aware steering.
+func NewCES(n, depth, width int, rn *rename.Renamer, m *mdp.MDP, mda bool) *CES {
+	s := &CES{
+		rn: rn, mdp: m, mda: mda, width: width,
+		iqs: make([]fifo, n),
+	}
+	for i := range s.iqs {
+		s.iqs[i].cap = depth
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *CES) Name() string {
+	if s.mda {
+		return "CES+MDA"
+	}
+	return "CES"
+}
+
+// Capacity implements Scheduler.
+func (s *CES) Capacity() int {
+	n := 0
+	for i := range s.iqs {
+		n += s.iqs[i].cap
+	}
+	return n
+}
+
+// Occupancy implements Scheduler.
+func (s *CES) Occupancy() int {
+	n := 0
+	for i := range s.iqs {
+		n += s.iqs[i].len()
+	}
+	return n
+}
+
+// readyAtDispatch reports whether all register sources are available.
+func readyAtDispatch(rn *rename.Renamer, u *UOp, cycle uint64) bool {
+	return rn.Ready(u.Src[0], cycle) && rn.Ready(u.Src[1], cycle)
+}
+
+// Dispatch implements Scheduler: steer along M/R-dependences, allocating a
+// new P-IQ for dependence heads, stalling when no queue is available.
+func (s *CES) Dispatch(u *UOp, cycle uint64) bool {
+	s.events.SteerOps++
+	s.events.PSCBReads += 2
+	ready := readyAtDispatch(s.rn, u, cycle)
+
+	if iq, ok := s.steerTarget(u); ok {
+		s.enqueue(iq, u)
+		if s.mda && u.D.Op.IsMem() && u.SSID >= 0 {
+			s.steerM++
+		} else {
+			s.steerDC++
+		}
+		return true
+	}
+
+	// Dependence head (or split/full target): allocate an empty P-IQ.
+	for i := range s.iqs {
+		if s.iqs[i].empty() {
+			s.enqueue(i, u)
+			if ready {
+				s.allocReady++
+			} else {
+				s.allocNonReady++
+			}
+			return true
+		}
+	}
+	if ready {
+		s.stallReady++
+	} else {
+		s.stallNonReady++
+	}
+	return false
+}
+
+// steerTarget finds the P-IQ holding u's producer at an unreserved tail.
+// M-dependences override R-dependences when MDA steering is enabled (§III-B).
+func (s *CES) steerTarget(u *UOp) (int, bool) {
+	if s.mda && u.D.Op.IsMem() && u.SSID >= 0 {
+		if iq, reserved, ok := s.mdp.ProducerLocation(u.SSID); ok && !reserved && !s.iqs[iq].full() {
+			s.mdp.ReserveProducer(u.SSID)
+			return iq, true
+		}
+	}
+	for _, src := range u.Src {
+		iq, reserved, ok := s.rn.ProducerIQ(src)
+		if ok && !reserved && !s.iqs[iq].full() {
+			s.rn.ReserveProducer(src)
+			return iq, true
+		}
+	}
+	return 0, false
+}
+
+// enqueue appends u to P-IQ iq and records producer locations in the P-SCB
+// (and LFST for stores under MDA steering).
+func (s *CES) enqueue(iq int, u *UOp) {
+	s.iqs[iq].push(u)
+	s.events.QueueWrites++
+	if u.Dst != rename.PhysNone {
+		s.rn.SetProducerIQ(u.Dst, iq)
+		s.events.PSCBWrites++
+	}
+	if s.mda && u.D.Op == isa.OpStore && u.SSID >= 0 {
+		s.mdp.SetProducerLocation(u.SSID, u.Seq(), iq)
+	}
+}
+
+// Issue implements Scheduler: only dependence heads (queue heads) are
+// examined; per-port prefix-sum circuits grant one each.
+func (s *CES) Issue(cycle uint64, ctx *IssueCtx) {
+	s.events.SelectInputs += uint64(s.width * len(s.iqs))
+	s.ports.Reset()
+	portUsed := &s.ports
+	for i := range s.iqs {
+		q := &s.iqs[i]
+		if q.empty() {
+			s.headEmpty++
+			continue
+		}
+		u := q.head()
+		s.events.QueueReads++
+		s.events.PSCBReads += 2
+		if portUsed.Used(u.Port) {
+			s.headStallDep++
+			continue
+		}
+		if !ctx.Ready(u) {
+			if u.MDPWait != mdp.NoStore {
+				s.headStallM++
+			} else {
+				s.headStallDep++
+			}
+			continue
+		}
+		ctx.Grant(u)
+		s.events.PayloadReads++
+		portUsed.Set(u.Port)
+		q.pop()
+		s.issued++
+		s.headIssue++
+	}
+}
+
+// Complete implements Scheduler. Readiness propagates through the P-SCB;
+// no CAM broadcast.
+func (s *CES) Complete(rename.PhysReg, uint64) {}
+
+// Flush implements Scheduler.
+func (s *CES) Flush(seq uint64) {
+	for i := range s.iqs {
+		s.iqs[i].flushFrom(seq)
+	}
+}
+
+// Energy implements Scheduler.
+func (s *CES) Energy() EnergyEvents { return s.events }
+
+// Counters implements Scheduler.
+func (s *CES) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"issued":          s.issued,
+		"steer_dc":        s.steerDC,
+		"steer_m":         s.steerM,
+		"alloc_ready":     s.allocReady,
+		"alloc_nonready":  s.allocNonReady,
+		"stall_ready":     s.stallReady,
+		"stall_nonready":  s.stallNonReady,
+		"head_issue":      s.headIssue,
+		"head_stall_mdep": s.headStallM,
+		"head_stall_dep":  s.headStallDep,
+		"head_empty":      s.headEmpty,
+	}
+}
+
+var _ Scheduler = (*CES)(nil)

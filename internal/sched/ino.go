@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"repro/internal/rename"
+)
+
+// InO is the stall-on-use in-order scoreboard core of Table II: a single
+// FIFO issue queue from whose head consecutive ready μops issue strictly in
+// program order; the first non-ready μop blocks everything younger.
+type InO struct {
+	entries []*UOp // FIFO, entries[0] is the oldest
+	cap     int
+	width   int
+	events  EnergyEvents
+	issued  uint64
+	ports   PortMask
+	stalls  uint64 // cycles the head was blocked while μops waited
+}
+
+// NewInO returns an in-order scheduler with the given queue capacity and
+// issue width.
+func NewInO(capacity, width int) *InO {
+	return &InO{cap: capacity, width: width}
+}
+
+// Name implements Scheduler.
+func (s *InO) Name() string { return "InO" }
+
+// Capacity implements Scheduler.
+func (s *InO) Capacity() int { return s.cap }
+
+// Occupancy implements Scheduler.
+func (s *InO) Occupancy() int { return len(s.entries) }
+
+// Dispatch implements Scheduler.
+func (s *InO) Dispatch(u *UOp, _ uint64) bool {
+	if len(s.entries) >= s.cap {
+		return false
+	}
+	s.entries = append(s.entries, u)
+	s.events.QueueWrites++
+	return true
+}
+
+// Issue implements Scheduler: grant ready μops from the head, in order,
+// stopping at the first that cannot issue.
+func (s *InO) Issue(cycle uint64, ctx *IssueCtx) {
+	s.ports.Reset()
+	portUsed := &s.ports
+	granted := 0
+	for granted < s.width && len(s.entries) > 0 {
+		u := s.entries[0]
+		s.events.QueueReads++
+		s.events.PSCBReads += 2
+		if !ctx.Ready(u) || portUsed.Used(u.Port) {
+			s.stalls++
+			return
+		}
+		ctx.Grant(u)
+		s.events.PayloadReads++
+		portUsed.Set(u.Port)
+		s.entries = s.entries[1:]
+		s.issued++
+		granted++
+	}
+}
+
+// Complete implements Scheduler. The scoreboard core re-reads readiness at
+// the head; no CAM broadcast energy.
+func (s *InO) Complete(rename.PhysReg, uint64) {}
+
+// Flush implements Scheduler.
+func (s *InO) Flush(seq uint64) {
+	for i, u := range s.entries {
+		if u.Seq() >= seq {
+			s.entries = s.entries[:i]
+			return
+		}
+	}
+}
+
+// Energy implements Scheduler.
+func (s *InO) Energy() EnergyEvents { return s.events }
+
+// Counters implements Scheduler.
+func (s *InO) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"issued":      s.issued,
+		"head_stalls": s.stalls,
+	}
+}
+
+var _ Scheduler = (*InO)(nil)

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/rename"
+)
+
+// OoO is the baseline unified out-of-order issue queue of §II-A / Figure 2:
+// CAM-based wakeup over a non-compacting random queue, per-port prefix-sum
+// select circuits, and a payload RAM. Optionally it selects oldest-first
+// (compaction/age-matrix behaviour) instead of position-first.
+type OoO struct {
+	slots       []*UOp // fixed positions; nil = free (random queue, no compaction)
+	free        []int  // free slot indices
+	width       int
+	oldestFirst bool
+
+	events EnergyEvents
+	issued uint64
+	ports  PortMask
+
+	// scratch for Issue.
+	order []int
+}
+
+// NewOoO returns a unified out-of-order IQ with the given entry count and
+// issue width. oldestFirst selects by age (Figure 11's "OoO w/ oldest-first
+// selection" variant); otherwise selection priority follows physical
+// position, as a prefix-sum circuit over a random queue does.
+func NewOoO(capacity, width int, oldestFirst bool) *OoO {
+	s := &OoO{
+		slots:       make([]*UOp, capacity),
+		width:       width,
+		oldestFirst: oldestFirst,
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *OoO) Name() string {
+	if s.oldestFirst {
+		return "OoO-oldest"
+	}
+	return "OoO"
+}
+
+// Capacity implements Scheduler.
+func (s *OoO) Capacity() int { return len(s.slots) }
+
+// Occupancy implements Scheduler.
+func (s *OoO) Occupancy() int { return len(s.slots) - len(s.free) }
+
+// Dispatch implements Scheduler.
+func (s *OoO) Dispatch(u *UOp, _ uint64) bool {
+	if len(s.free) == 0 {
+		return false
+	}
+	idx := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.slots[idx] = u
+	s.events.QueueWrites++
+	return true
+}
+
+// Issue implements Scheduler: per issue port, the prefix-sum circuit grants
+// the highest-priority requesting entry.
+func (s *OoO) Issue(cycle uint64, ctx *IssueCtx) {
+	occ := s.Occupancy()
+	if occ == 0 {
+		return
+	}
+	// Each port's prefix-sum circuit evaluates all N inputs every cycle
+	// the queue is active.
+	s.events.SelectInputs += uint64(s.width * len(s.slots))
+
+	s.order = s.order[:0]
+	for i, u := range s.slots {
+		if u != nil {
+			s.order = append(s.order, i)
+		}
+	}
+	if s.oldestFirst {
+		sort.Slice(s.order, func(a, b int) bool {
+			return s.slots[s.order[a]].Seq() < s.slots[s.order[b]].Seq()
+		})
+	}
+
+	s.ports.Reset()
+	portUsed := &s.ports
+	granted := 0
+	for _, idx := range s.order {
+		if granted >= s.width {
+			break
+		}
+		u := s.slots[idx]
+		if portUsed.Used(u.Port) {
+			continue
+		}
+		if !ctx.Ready(u) {
+			continue
+		}
+		ctx.Grant(u)
+		s.events.PayloadReads++
+		portUsed.Set(u.Port)
+		s.slots[idx] = nil
+		s.free = append(s.free, idx)
+		s.issued++
+		granted++
+	}
+}
+
+// Complete implements Scheduler: a destination-tag broadcast compares
+// against both source fields of every live entry.
+func (s *OoO) Complete(dst rename.PhysReg, _ uint64) {
+	if dst == rename.PhysNone {
+		return
+	}
+	s.events.WakeupBroadcasts++
+	s.events.WakeupCompares += uint64(2 * len(s.slots))
+}
+
+// Flush implements Scheduler.
+func (s *OoO) Flush(seq uint64) {
+	for i, u := range s.slots {
+		if u != nil && u.Seq() >= seq {
+			s.slots[i] = nil
+			s.free = append(s.free, i)
+		}
+	}
+}
+
+// Energy implements Scheduler.
+func (s *OoO) Energy() EnergyEvents { return s.events }
+
+// Counters implements Scheduler.
+func (s *OoO) Counters() map[string]uint64 {
+	return map[string]uint64{"issued": s.issued}
+}
+
+var _ Scheduler = (*OoO)(nil)

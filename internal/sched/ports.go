@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// PortMap binds opcode classes to issue ports: Ports[p] lists the opcode
+// classes port p's functional units execute. The number of ports equals the
+// issue width (§II-A).
+type PortMap struct {
+	Ports [][]isa.Op
+	// byOp caches op → candidate ports.
+	byOp [isa.NumOps][]int
+}
+
+// NewPortMap builds a PortMap and its lookup cache.
+func NewPortMap(ports [][]isa.Op) *PortMap {
+	pm := &PortMap{Ports: ports}
+	for p, ops := range ports {
+		for _, op := range ops {
+			pm.byOp[op] = append(pm.byOp[op], p)
+		}
+	}
+	// Nops can use any ALU port.
+	pm.byOp[isa.OpNop] = pm.byOp[isa.OpIntALU]
+	for op := 0; op < isa.NumOps; op++ {
+		if len(pm.byOp[op]) == 0 {
+			panic(fmt.Sprintf("sched: no port executes %v", isa.Op(op)))
+		}
+	}
+	return pm
+}
+
+// Width returns the number of issue ports.
+func (pm *PortMap) Width() int { return len(pm.Ports) }
+
+// Candidates returns the ports able to execute op.
+func (pm *PortMap) Candidates(op isa.Op) []int { return pm.byOp[op] }
+
+// Pick implements the dispatch-time port arbitration of §II-A: among the
+// ports with a suitable functional unit, choose the one with the fewest
+// in-flight (dispatched but not issued) μops.
+func (pm *PortMap) Pick(op isa.Op, inflight []int) int {
+	cands := pm.byOp[op]
+	best := cands[0]
+	for _, p := range cands[1:] {
+		if inflight[p] < inflight[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// Ports8Wide is the Table I 8-wide binding:
+// 4 int ALUs (P0,P1,P5,P6), int DIV (P0), int MUL (P1), 2 fp ADDs (P0,P1),
+// fp DIV (P0), 2 fp MULs (P0,P1), 4 AGUs (P2,P3,P4,P7), 2 branches (P0,P6).
+func Ports8Wide() *PortMap {
+	return NewPortMap([][]isa.Op{
+		{isa.OpIntALU, isa.OpIntDiv, isa.OpFpAdd, isa.OpFpDiv, isa.OpFpMul, isa.OpBranch}, // P0
+		{isa.OpIntALU, isa.OpIntMul, isa.OpFpAdd, isa.OpFpMul},                            // P1
+		{isa.OpLoad, isa.OpStore},    // P2
+		{isa.OpLoad, isa.OpStore},    // P3
+		{isa.OpLoad, isa.OpStore},    // P4
+		{isa.OpIntALU},               // P5
+		{isa.OpIntALU, isa.OpBranch}, // P6
+		{isa.OpLoad, isa.OpStore},    // P7
+	})
+}
+
+// Ports4Wide is the 4-wide scaling of Table I.
+func Ports4Wide() *PortMap {
+	return NewPortMap([][]isa.Op{
+		{isa.OpIntALU, isa.OpIntDiv, isa.OpFpAdd, isa.OpFpDiv, isa.OpBranch}, // P0
+		{isa.OpIntALU, isa.OpIntMul, isa.OpFpAdd, isa.OpFpMul},               // P1
+		{isa.OpLoad, isa.OpStore},                                            // P2
+		{isa.OpLoad, isa.OpStore},                                            // P3
+	})
+}
+
+// Ports2Wide is the 2-wide scaling of Table I.
+func Ports2Wide() *PortMap {
+	return NewPortMap([][]isa.Op{
+		{isa.OpIntALU, isa.OpIntMul, isa.OpIntDiv, isa.OpFpAdd, isa.OpFpMul, isa.OpFpDiv, isa.OpBranch}, // P0
+		{isa.OpLoad, isa.OpStore, isa.OpIntALU},                                                         // P1
+	})
+}
+
+// Ports10Wide extends the 8-wide binding for the Ice-Lake-style 10-wide
+// design of Figure 17a: one extra ALU port and one extra AGU port.
+func Ports10Wide() *PortMap {
+	return NewPortMap([][]isa.Op{
+		{isa.OpIntALU, isa.OpIntDiv, isa.OpFpAdd, isa.OpFpDiv, isa.OpFpMul, isa.OpBranch}, // P0
+		{isa.OpIntALU, isa.OpIntMul, isa.OpFpAdd, isa.OpFpMul},                            // P1
+		{isa.OpLoad, isa.OpStore},                // P2
+		{isa.OpLoad, isa.OpStore},                // P3
+		{isa.OpLoad, isa.OpStore},                // P4
+		{isa.OpIntALU},                           // P5
+		{isa.OpIntALU, isa.OpBranch},             // P6
+		{isa.OpLoad, isa.OpStore},                // P7
+		{isa.OpIntALU, isa.OpFpAdd, isa.OpFpMul}, // P8
+		{isa.OpLoad, isa.OpStore},                // P9
+	})
+}
+
+// PortsForWidth returns the Table I port map for an issue width.
+func PortsForWidth(w int) (*PortMap, error) {
+	switch w {
+	case 2:
+		return Ports2Wide(), nil
+	case 4:
+		return Ports4Wide(), nil
+	case 8:
+		return Ports8Wide(), nil
+	case 10:
+		return Ports10Wide(), nil
+	default:
+		return nil, fmt.Errorf("sched: no port map for issue width %d", w)
+	}
+}
+
+// Latency returns the execution latency of an opcode class in cycles.
+// Loads return the address-generation latency only; the memory hierarchy
+// adds the rest.
+func Latency(op isa.Op) uint64 {
+	switch op {
+	case isa.OpIntALU, isa.OpNop, isa.OpBranch:
+		return 1
+	case isa.OpIntMul:
+		return 3
+	case isa.OpIntDiv:
+		return 18
+	case isa.OpFpAdd:
+		return 3
+	case isa.OpFpMul:
+		return 4
+	case isa.OpFpDiv:
+		return 12
+	case isa.OpLoad, isa.OpStore:
+		return 1 // AGU
+	default:
+		panic(fmt.Sprintf("sched: no latency for %v", op))
+	}
+}
+
+// Pipelined reports whether the functional unit accepts a new μop every
+// cycle. Divider units are unpipelined and block their port's divider.
+func Pipelined(op isa.Op) bool {
+	return op != isa.OpIntDiv && op != isa.OpFpDiv
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestPortsForWidth(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 10} {
+		pm, err := PortsForWidth(w)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if pm.Width() != w {
+			t.Errorf("width %d: Width() = %d", w, pm.Width())
+		}
+		// Every opcode class must be executable somewhere.
+		for op := 0; op < isa.NumOps; op++ {
+			if len(pm.Candidates(isa.Op(op))) == 0 {
+				t.Errorf("width %d: no port for %v", w, isa.Op(op))
+			}
+		}
+	}
+	if _, err := PortsForWidth(3); err == nil {
+		t.Error("width 3 accepted")
+	}
+}
+
+func TestTableIPortBindings8Wide(t *testing.T) {
+	pm := Ports8Wide()
+	cases := []struct {
+		op    isa.Op
+		ports []int
+	}{
+		{isa.OpIntALU, []int{0, 1, 5, 6}},
+		{isa.OpIntDiv, []int{0}},
+		{isa.OpIntMul, []int{1}},
+		{isa.OpFpAdd, []int{0, 1}},
+		{isa.OpFpDiv, []int{0}},
+		{isa.OpFpMul, []int{0, 1}},
+		{isa.OpLoad, []int{2, 3, 4, 7}},
+		{isa.OpStore, []int{2, 3, 4, 7}},
+		{isa.OpBranch, []int{0, 6}},
+	}
+	for _, tc := range cases {
+		got := pm.Candidates(tc.op)
+		if len(got) != len(tc.ports) {
+			t.Errorf("%v: ports %v, want %v", tc.op, got, tc.ports)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.ports[i] {
+				t.Errorf("%v: ports %v, want %v", tc.op, got, tc.ports)
+				break
+			}
+		}
+	}
+}
+
+func TestPickLeastLoaded(t *testing.T) {
+	pm := Ports8Wide()
+	inflight := make([]int, 8)
+	inflight[0], inflight[1], inflight[5] = 5, 3, 1
+	if got := pm.Pick(isa.OpIntALU, inflight); got != 6 {
+		t.Errorf("Pick(ALU) = %d, want 6 (empty)", got)
+	}
+	inflight[6] = 2
+	if got := pm.Pick(isa.OpIntALU, inflight); got != 5 {
+		t.Errorf("Pick(ALU) = %d, want 5 (least loaded)", got)
+	}
+	if got := pm.Pick(isa.OpIntMul, inflight); got != 1 {
+		t.Errorf("Pick(MUL) = %d, want 1 (only option)", got)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(isa.OpIntALU) != 1 || Latency(isa.OpIntMul) != 3 ||
+		Latency(isa.OpIntDiv) != 18 || Latency(isa.OpFpAdd) != 3 ||
+		Latency(isa.OpFpMul) != 4 || Latency(isa.OpFpDiv) != 12 {
+		t.Error("unexpected FU latency table")
+	}
+	if Latency(isa.OpLoad) != 1 || Latency(isa.OpStore) != 1 {
+		t.Error("AGU latency != 1")
+	}
+}
+
+func TestPipelined(t *testing.T) {
+	for op := 0; op < isa.NumOps; op++ {
+		want := isa.Op(op) != isa.OpIntDiv && isa.Op(op) != isa.OpFpDiv
+		if got := Pipelined(isa.Op(op)); got != want {
+			t.Errorf("Pipelined(%v) = %v", isa.Op(op), got)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassLd.String() != "Ld" || ClassLdC.String() != "LdC" || ClassRst.String() != "Rst" {
+		t.Error("Class String labels wrong")
+	}
+}
+
+func TestEnergyEventsAdd(t *testing.T) {
+	a := EnergyEvents{WakeupCompares: 1, QueueWrites: 2, SteerOps: 3}
+	b := EnergyEvents{WakeupCompares: 10, QueueReads: 5, IXUExecs: 7}
+	a.Add(b)
+	if a.WakeupCompares != 11 || a.QueueWrites != 2 || a.QueueReads != 5 || a.SteerOps != 3 || a.IXUExecs != 7 {
+		t.Errorf("Add result = %+v", a)
+	}
+}

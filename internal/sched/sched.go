@@ -1,0 +1,155 @@
+// Package sched defines the in-flight μop record, the Scheduler interface
+// every evaluated microarchitecture implements, the issue-port/functional-
+// unit bindings of Table I, and the baseline schedulers: the in-order
+// scoreboard core (InO), the unified out-of-order IQ (OoO), the clustered
+// dependence-steered P-IQs of CES, the cascaded speculative in-order IQs of
+// CASINO, and the front-end execution architecture FXA.
+//
+// The Ballerino scheduler — the paper's contribution — lives in
+// internal/core and implements the same interface.
+package sched
+
+import (
+	"repro/internal/isa"
+	"repro/internal/rename"
+)
+
+// Class labels a μop for the decode-to-issue breakdowns of Figures 3c
+// and 12: loads, load-dependents, and the rest.
+type Class uint8
+
+// Classification values.
+const (
+	ClassRst Class = iota // neither a load nor load-dependent at dispatch
+	ClassLd               // load
+	ClassLdC              // directly/transitively dependent on an incomplete load
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLd:
+		return "Ld"
+	case ClassLdC:
+		return "LdC"
+	default:
+		return "Rst"
+	}
+}
+
+// UOp is an in-flight μop: the dynamic instruction plus renamed operands,
+// issue-port binding and the timestamps the figures are built from.
+type UOp struct {
+	D    *isa.DynInst
+	Dst  rename.PhysReg
+	Src  [2]rename.PhysReg
+	Port int
+	Cls  Class
+
+	// Memory dependence prediction state (loads and stores).
+	SSID    int32
+	MDPWait uint64 // dynamic seq of the store to wait for; mdp.NoStore if none
+	// MDPBlockedSince is the first cycle this μop was refused issue due to
+	// its predicted memory dependence (0 = never refused). Clustered
+	// in-order schedulers can deadlock through cross-queue MDP waits; the
+	// pipeline breaks the cycle by letting the wait time out into a
+	// speculative issue, relying on violation replay for correctness.
+	MDPBlockedSince uint64
+
+	// ROB slot, owned by the pipeline.
+	ROB int
+
+	// Timestamps (cycles).
+	DecodeCycle   uint64
+	DispatchCycle uint64
+	ReadyCycle    uint64
+	IssueCycle    uint64
+	CompleteCycle uint64
+
+	// Issued marks μops already granted (still occupying LSQ/ROB).
+	Issued bool
+	// Squashed marks μops removed by a pipeline flush; late completion
+	// events for them are ignored.
+	Squashed bool
+	// Mispred marks a branch the front end predicted incorrectly; fetch
+	// stalls until it resolves.
+	Mispred bool
+}
+
+// Seq returns the μop's dynamic sequence number.
+func (u *UOp) Seq() uint64 { return u.D.Seq }
+
+// EnergyEvents counts the scheduler-internal events the energy model
+// converts to joules. Each scheduler increments what its circuits would do.
+type EnergyEvents struct {
+	WakeupBroadcasts uint64 // destination-tag broadcasts into CAM wakeup
+	WakeupCompares   uint64 // CAM tag comparisons (broadcasts × live entries × 2)
+	SelectInputs     uint64 // prefix-sum inputs evaluated, summed per cycle
+	QueueWrites      uint64 // FIFO/IQ entry writes (dispatch, inter-IQ copies)
+	QueueReads       uint64 // FIFO/IQ entry reads (head examination, issue)
+	PayloadReads     uint64 // payload RAM reads on grant
+	PSCBReads        uint64 // physical-register scoreboard reads
+	PSCBWrites       uint64
+	SteerOps         uint64 // steering decisions performed
+	IXUExecs         uint64 // μops executed by FXA's in-order execution unit
+}
+
+// Add accumulates other into e.
+func (e *EnergyEvents) Add(other EnergyEvents) {
+	e.WakeupBroadcasts += other.WakeupBroadcasts
+	e.WakeupCompares += other.WakeupCompares
+	e.SelectInputs += other.SelectInputs
+	e.QueueWrites += other.QueueWrites
+	e.QueueReads += other.QueueReads
+	e.PayloadReads += other.PayloadReads
+	e.PSCBReads += other.PSCBReads
+	e.PSCBWrites += other.PSCBWrites
+	e.SteerOps += other.SteerOps
+	e.IXUExecs += other.IXUExecs
+}
+
+// IssueCtx is the per-cycle issue interface the pipeline hands to the
+// scheduler. Ready must be consulted before Grant; Grant issues the μop.
+type IssueCtx struct {
+	// Ready reports whether u can issue this cycle: all renamed sources
+	// available through the bypass network, any predicted memory
+	// dependence resolved, and u's functional unit free.
+	Ready func(u *UOp) bool
+	// Grant issues u this cycle. The scheduler must respect one grant per
+	// issue port per cycle.
+	Grant func(u *UOp)
+}
+
+// Scheduler is the issue-queue organisation under evaluation. The
+// surrounding pipeline (fetch/rename/execute/commit) is identical for all
+// implementations, per the paper's methodology.
+type Scheduler interface {
+	// Name identifies the microarchitecture ("OoO", "CES", ...).
+	Name() string
+	// Capacity returns the total scheduling-window entries.
+	Capacity() int
+	// Dispatch offers a renamed μop in program order. It returns false
+	// when the scheduler cannot accept it this cycle (dispatch stalls).
+	Dispatch(u *UOp, cycle uint64) bool
+	// Issue performs this cycle's wakeup/select, granting ready μops.
+	Issue(cycle uint64, ctx *IssueCtx)
+	// Complete notifies that the value of dst became available (wakeup
+	// broadcast in CAM-based designs).
+	Complete(dst rename.PhysReg, cycle uint64)
+	// Flush removes every μop with sequence number ≥ seq.
+	Flush(seq uint64)
+	// Occupancy returns the μops currently buffered.
+	Occupancy() int
+	// Energy returns accumulated energy events.
+	Energy() EnergyEvents
+	// Counters exposes microarchitecture-specific event counts used by
+	// the figure harnesses (steering outcomes, issue sources, ...).
+	Counters() map[string]uint64
+}
+
+// portMask tracks per-cycle issue-port grants without allocating. Ports
+// are bounded by the widest machine (16).
+type PortMask [16]bool
+
+func (m *PortMask) Used(p int) bool { return m[p] }
+func (m *PortMask) Set(p int)       { m[p] = true }
+func (m *PortMask) Reset()          { *m = PortMask{} }

@@ -1,0 +1,115 @@
+// Package stats collects the simulation counters and per-class scheduling
+// delay breakdowns that the paper's figures are built from.
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+// DelayBreakdown accumulates the decode-to-issue pipeline delays of one
+// instruction class (Figure 3c / Figure 12): decode→dispatch,
+// dispatch→ready, and ready→issue cycles.
+type DelayBreakdown struct {
+	Count            uint64
+	DecodeToDispatch uint64
+	DispatchToReady  uint64
+	ReadyToIssue     uint64
+}
+
+// Avg returns the per-μop averages (0 for an empty class).
+func (d DelayBreakdown) Avg() (decodeToDispatch, dispatchToReady, readyToIssue float64) {
+	if d.Count == 0 {
+		return 0, 0, 0
+	}
+	n := float64(d.Count)
+	return float64(d.DecodeToDispatch) / n, float64(d.DispatchToReady) / n, float64(d.ReadyToIssue) / n
+}
+
+// Total returns the average decode-to-issue delay.
+func (d DelayBreakdown) Total() float64 {
+	a, b, c := d.Avg()
+	return a + b + c
+}
+
+// Sim aggregates the counters of one simulation run.
+type Sim struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+
+	Branches      uint64
+	Mispredicts   uint64
+	Violations    uint64 // memory order violations detected
+	Flushes       uint64 // pipeline flushes (violations; mispredicts stall fetch instead)
+	DispatchStall uint64 // cycles rename/dispatch could not move the head μop
+
+	// Delay breakdowns indexed by sched.Class, plus the all-class sum.
+	Delay [3]DelayBreakdown
+	All   DelayBreakdown
+
+	// OpCommitted counts committed μops by opcode class (drives the
+	// functional-unit energy model).
+	OpCommitted [isa.NumOps]uint64
+	// Issued counts issue events including replayed work (drives PRF and
+	// FU energy).
+	Issued uint64
+	// OccupancySum accumulates the scheduler occupancy sampled once per
+	// cycle; OccupancySum/Cycles is the average window fill.
+	OccupancySum uint64
+}
+
+// AvgOccupancy returns the mean scheduler occupancy per cycle.
+func (s *Sim) AvgOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OccupancySum) / float64(s.Cycles)
+}
+
+// Record adds a committed μop's timestamps to the breakdowns.
+func (s *Sim) Record(u *sched.UOp) {
+	s.OpCommitted[u.D.Op]++
+	d2d := u.DispatchCycle - u.DecodeCycle
+	var d2r, r2i uint64
+	if u.ReadyCycle > u.DispatchCycle {
+		d2r = u.ReadyCycle - u.DispatchCycle
+	}
+	ready := u.ReadyCycle
+	if ready < u.DispatchCycle {
+		ready = u.DispatchCycle
+	}
+	if u.IssueCycle > ready {
+		r2i = u.IssueCycle - ready
+	}
+	for _, b := range []*DelayBreakdown{&s.Delay[u.Cls], &s.All} {
+		b.Count++
+		b.DecodeToDispatch += d2d
+		b.DispatchToReady += d2r
+		b.ReadyToIssue += r2i
+	}
+}
+
+// IPC returns committed μops per cycle.
+func (s *Sim) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per branch.
+func (s *Sim) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// String summarises the run.
+func (s *Sim) String() string {
+	return fmt.Sprintf("cycles=%d committed=%d IPC=%.3f mispredict=%.2f%% violations=%d",
+		s.Cycles, s.Committed, s.IPC(), 100*s.MispredictRate(), s.Violations)
+}

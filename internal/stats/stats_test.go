@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sched"
+)
+
+func committedUOp(cls sched.Class, decode, dispatch, ready, issue uint64) *sched.UOp {
+	return &sched.UOp{
+		D:             &isa.DynInst{Op: isa.OpIntALU},
+		Cls:           cls,
+		DecodeCycle:   decode,
+		DispatchCycle: dispatch,
+		ReadyCycle:    ready,
+		IssueCycle:    issue,
+	}
+}
+
+func TestRecordAccumulatesByClass(t *testing.T) {
+	var s Sim
+	s.Record(committedUOp(sched.ClassLd, 0, 10, 15, 20))
+	s.Record(committedUOp(sched.ClassLd, 0, 10, 15, 20))
+	s.Record(committedUOp(sched.ClassRst, 5, 6, 6, 7))
+
+	d := s.Delay[sched.ClassLd]
+	if d.Count != 2 {
+		t.Fatalf("Ld count = %d", d.Count)
+	}
+	d2d, d2r, r2i := d.Avg()
+	if d2d != 10 || d2r != 5 || r2i != 5 {
+		t.Errorf("Ld averages = %v,%v,%v", d2d, d2r, r2i)
+	}
+	if s.All.Count != 3 {
+		t.Errorf("All count = %d", s.All.Count)
+	}
+	if got := d.Total(); got != 20 {
+		t.Errorf("Ld total = %v", got)
+	}
+}
+
+func TestRecordClampsInvertedTimestamps(t *testing.T) {
+	var s Sim
+	// ReadyCycle before DispatchCycle (register was ready early): the
+	// dispatch→ready component must clamp to zero, not underflow.
+	s.Record(committedUOp(sched.ClassRst, 0, 10, 3, 12))
+	_, d2r, r2i := s.Delay[sched.ClassRst].Avg()
+	if d2r != 0 {
+		t.Errorf("dispatch→ready = %v, want 0", d2r)
+	}
+	if r2i != 2 {
+		t.Errorf("ready→issue = %v, want 2 (from dispatch)", r2i)
+	}
+}
+
+func TestOpCommittedCounts(t *testing.T) {
+	var s Sim
+	s.Record(&sched.UOp{D: &isa.DynInst{Op: isa.OpLoad}})
+	s.Record(&sched.UOp{D: &isa.DynInst{Op: isa.OpLoad}})
+	s.Record(&sched.UOp{D: &isa.DynInst{Op: isa.OpFpMul}})
+	if s.OpCommitted[isa.OpLoad] != 2 || s.OpCommitted[isa.OpFpMul] != 1 {
+		t.Errorf("OpCommitted = %v", s.OpCommitted)
+	}
+}
+
+func TestIPCAndRates(t *testing.T) {
+	s := Sim{Cycles: 100, Committed: 250, Branches: 50, Mispredicts: 5}
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := s.MispredictRate(); got != 0.1 {
+		t.Errorf("mispredict rate = %v", got)
+	}
+	var zero Sim
+	if zero.IPC() != 0 || zero.MispredictRate() != 0 {
+		t.Error("zero-value rates not 0")
+	}
+}
+
+func TestStringContainsKeyFields(t *testing.T) {
+	s := Sim{Cycles: 10, Committed: 20, Violations: 3}
+	out := s.String()
+	for _, want := range []string{"cycles=10", "committed=20", "violations=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestEmptyBreakdownAverages(t *testing.T) {
+	var d DelayBreakdown
+	a, b, c := d.Avg()
+	if a != 0 || b != 0 || c != 0 || d.Total() != 0 {
+		t.Error("empty breakdown not zero")
+	}
+}

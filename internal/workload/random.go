@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// RandomParams shapes a randomly generated program (see Random).
+type RandomParams struct {
+	Seed uint64
+	// Blocks is the number of basic blocks to generate (default 24).
+	Blocks int
+	// BlockLen is the maximum μops per block (default 12).
+	BlockLen int
+	// MemRegion is the scratch memory size in bytes (default 64 KiB).
+	MemRegion int64
+}
+
+func (p RandomParams) withDefaults() RandomParams {
+	if p.Blocks == 0 {
+		p.Blocks = 24
+	}
+	if p.BlockLen == 0 {
+		p.BlockLen = 12
+	}
+	if p.MemRegion == 0 {
+		p.MemRegion = 64 << 10
+	}
+	return p
+}
+
+// Random generates a structurally random but always-terminating program:
+// a chain of basic blocks with random arithmetic over a rotating register
+// window, random loads/stores into a scratch region, and data-dependent
+// forward branches. A decrementing fuel counter drives one backward loop so
+// the dynamic stream is long enough to exercise every pipeline path.
+//
+// Random programs are the fuzzing substrate for the cross-scheduler
+// equivalence tests: every scheduler must commit the identical μop stream.
+func Random(p RandomParams) Workload {
+	p = p.withDefaults()
+	b := prog.NewBuilder("random")
+	r := lcg(p.Seed | 1)
+
+	base := int64(heapBase)
+	words := p.MemRegion / 8
+	for i := int64(0); i < words; i += 7 {
+		b.SetMem(uint64(base+i*8), int64(r.next()))
+	}
+
+	// Register roles: r1 fuel, r2 scratch base, r3 mask, r4.. data pool.
+	fuel, memBase, mask := isa.R(1), isa.R(2), isa.R(3)
+	pool := make([]isa.Reg, 0, 20)
+	for i := 4; i < 24; i++ {
+		pool = append(pool, isa.R(i))
+	}
+	fpool := make([]isa.Reg, 0, 8)
+	for i := 0; i < 8; i++ {
+		fpool = append(fpool, isa.F(i))
+	}
+	pick := func(regs []isa.Reg) isa.Reg { return regs[r.next()%uint64(len(regs))] }
+
+	b.MovImm(fuel, 1<<40)
+	b.MovImm(memBase, base)
+	b.MovImm(mask, (words-1)*8)
+	for _, reg := range pool {
+		b.MovImm(reg, int64(r.next()%1000))
+	}
+
+	top := b.NewLabel()
+	b.Bind(top)
+	addr := isa.R(24)
+	for blk := 0; blk < p.Blocks; blk++ {
+		n := 3 + int(r.next()%uint64(p.BlockLen-2))
+		skip := b.NewLabel()
+		for i := 0; i < n; i++ {
+			switch r.next() % 10 {
+			case 0, 1, 2: // int ALU
+				fns := []isa.Fn{isa.FnAdd, isa.FnSub, isa.FnXor, isa.FnAnd, isa.FnOr, isa.FnMix}
+				b.ALU(fns[r.next()%uint64(len(fns))], pick(pool), pick(pool), pick(pool), int64(r.next()%64))
+			case 3: // multiply
+				b.IntMul(pick(pool), pick(pool), pick(pool))
+			case 4: // fp chain links
+				if r.next()%2 == 0 {
+					b.FpAdd(pick(fpool), pick(fpool), pick(fpool))
+				} else {
+					b.FpMul(pick(fpool), pick(fpool), pick(fpool))
+				}
+			case 5, 6: // load
+				b.ALU(isa.FnAnd, addr, pick(pool), mask, 0)
+				b.Add(addr, addr, memBase)
+				b.Load(pick(pool), addr, 0)
+			case 7: // store
+				b.ALU(isa.FnAnd, addr, pick(pool), mask, 0)
+				b.Add(addr, addr, memBase)
+				b.Store(pick(pool), addr, 0)
+			case 8: // data-dependent forward branch over the block tail
+				b.ALU(isa.FnSlt, isa.R(25), pick(pool), pick(pool), 0)
+				b.Branch(isa.BrEQZ, isa.R(25), skip)
+			case 9: // occasional divide (unpipelined FU path)
+				b.IntDiv(pick(pool), pick(pool), pick(pool))
+			}
+		}
+		b.Bind(skip)
+	}
+	b.AddImm(fuel, fuel, -1)
+	b.Branch(isa.BrNEZ, fuel, top)
+
+	return Workload{
+		Name:    "random",
+		Kind:    "fuzz",
+		Emulate: "randomised program for scheduler equivalence fuzzing",
+		Program: b.Build(),
+	}
+}

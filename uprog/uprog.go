@@ -1,0 +1,162 @@
+// Package uprog is the public surface for authoring custom μop programs
+// and running them on the simulated microarchitectures. It wraps the
+// internal program builder with a stable, documented API:
+//
+//	b := uprog.NewBuilder("dot-product")
+//	x, acc, p, n := uprog.R(1), uprog.R(2), uprog.R(3), uprog.R(4)
+//	b.MovImm(p, 0x10000)
+//	b.MovImm(acc, 0)
+//	b.MovImm(n, 1024)
+//	loop := b.NewLabel()
+//	b.Bind(loop)
+//	b.Load(x, p, 0)
+//	b.Add(acc, acc, x)
+//	b.AddImm(p, p, 8)
+//	b.AddImm(n, n, -1)
+//	b.BranchNEZ(n, loop)
+//	prog := b.Build()
+//
+//	res, err := ballerino.Run(ballerino.Config{Arch: "Ballerino", Custom: prog})
+//
+// Programs are deterministic register-machine code: 64 integer (R) and 64
+// floating-point (F) registers, byte-addressed memory accessed in 8-byte
+// words. The functional executor derives the dynamic μop stream (with
+// concrete addresses and branch outcomes) that the timing model replays.
+package uprog
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Reg names an architectural register; construct with R or F.
+type Reg = isa.Reg
+
+// R returns the i-th integer register (0..63).
+func R(i int) Reg { return isa.R(i) }
+
+// F returns the i-th floating-point register (0..63).
+func F(i int) Reg { return isa.F(i) }
+
+// Label marks a branch target; create with Builder.NewLabel and place with
+// Builder.Bind.
+type Label = prog.Label
+
+// Program is an assembled μop program ready for simulation.
+type Program struct {
+	p *prog.Program
+}
+
+// Name returns the program's name.
+func (p *Program) Name() string { return p.p.Name }
+
+// Len returns the static instruction count (including the final halt).
+func (p *Program) Len() int { return len(p.p.Insts) }
+
+// Internal exposes the wrapped program to the simulator packages. It is
+// not part of the stable API.
+func (p *Program) Internal() *prog.Program { return p.p }
+
+// Builder assembles a Program. The zero value is not usable; call
+// NewBuilder.
+type Builder struct {
+	b *prog.Builder
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{b: prog.NewBuilder(name)}
+}
+
+// NewLabel creates an unbound branch target.
+func (b *Builder) NewLabel() Label { return b.b.NewLabel() }
+
+// Bind places a label at the next emitted instruction. Binding the same
+// label twice panics.
+func (b *Builder) Bind(l Label) { b.b.Bind(l) }
+
+// SetMem seeds an initial 8-byte memory word (the address is aligned down).
+func (b *Builder) SetMem(addr uint64, v int64) { b.b.SetMem(addr, v) }
+
+// SetReg seeds an initial register value.
+func (b *Builder) SetReg(r Reg, v int64) { b.b.SetReg(r, v) }
+
+// MovImm emits dst = imm (1-cycle ALU).
+func (b *Builder) MovImm(dst Reg, imm int64) { b.b.MovImm(dst, imm) }
+
+// Add emits dst = a + b (1-cycle ALU).
+func (b *Builder) Add(dst, a, c Reg) { b.b.Add(dst, a, c) }
+
+// AddImm emits dst = a + imm (1-cycle ALU).
+func (b *Builder) AddImm(dst, a Reg, imm int64) { b.b.AddImm(dst, a, imm) }
+
+// Sub emits dst = a - b (1-cycle ALU).
+func (b *Builder) Sub(dst, a, c Reg) { b.b.Sub(dst, a, c) }
+
+// Xor emits dst = a ^ b (1-cycle ALU).
+func (b *Builder) Xor(dst, a, c Reg) { b.b.ALU(isa.FnXor, dst, a, c, 0) }
+
+// And emits dst = a & b (1-cycle ALU).
+func (b *Builder) And(dst, a, c Reg) { b.b.ALU(isa.FnAnd, dst, a, c, 0) }
+
+// Or emits dst = a | b (1-cycle ALU).
+func (b *Builder) Or(dst, a, c Reg) { b.b.ALU(isa.FnOr, dst, a, c, 0) }
+
+// Shl emits dst = a << (b & 63) (1-cycle ALU).
+func (b *Builder) Shl(dst, a, c Reg) { b.b.ALU(isa.FnShl, dst, a, c, 0) }
+
+// Shr emits the logical shift dst = a >> (b & 63) (1-cycle ALU).
+func (b *Builder) Shr(dst, a, c Reg) { b.b.ALU(isa.FnShr, dst, a, c, 0) }
+
+// Slt emits dst = (a < b) ? 1 : 0 (1-cycle ALU).
+func (b *Builder) Slt(dst, a, c Reg) { b.b.ALU(isa.FnSlt, dst, a, c, 0) }
+
+// Mix emits dst = hash(a, b, imm) — a cheap diffusion function for
+// synthesising data-dependent addresses and conditions (1-cycle ALU).
+func (b *Builder) Mix(dst, a, c Reg, imm int64) { b.b.Mix(dst, a, c, imm) }
+
+// Mul emits dst = a * b on the 3-cycle integer multiplier.
+func (b *Builder) Mul(dst, a, c Reg) { b.b.IntMul(dst, a, c) }
+
+// Div emits dst = a / b on the 18-cycle unpipelined divider (0 divisor
+// yields 0).
+func (b *Builder) Div(dst, a, c Reg) { b.b.IntDiv(dst, a, c) }
+
+// FpAdd emits dst = a + b on the 3-cycle FP adder.
+func (b *Builder) FpAdd(dst, a, c Reg) { b.b.FpAdd(dst, a, c) }
+
+// FpMul emits dst = a * b on the 4-cycle FP multiplier.
+func (b *Builder) FpMul(dst, a, c Reg) { b.b.FpMul(dst, a, c) }
+
+// FpDiv emits dst = a / b on the 12-cycle unpipelined FP divider.
+func (b *Builder) FpDiv(dst, a, c Reg) { b.b.FpDiv(dst, a, c) }
+
+// Load emits dst = mem[base + off] (AGU + data cache).
+func (b *Builder) Load(dst, base Reg, off int64) { b.b.Load(dst, base, off) }
+
+// Store emits mem[base + off] = data (AGU + store queue).
+func (b *Builder) Store(data, base Reg, off int64) { b.b.Store(data, base, off) }
+
+// Jmp emits an unconditional branch to l.
+func (b *Builder) Jmp(l Label) { b.b.Jmp(l) }
+
+// BranchEQZ branches to l when src == 0.
+func (b *Builder) BranchEQZ(src Reg, l Label) { b.b.Branch(isa.BrEQZ, src, l) }
+
+// BranchNEZ branches to l when src != 0.
+func (b *Builder) BranchNEZ(src Reg, l Label) { b.b.Branch(isa.BrNEZ, src, l) }
+
+// BranchLTZ branches to l when src < 0.
+func (b *Builder) BranchLTZ(src Reg, l Label) { b.b.Branch(isa.BrLTZ, src, l) }
+
+// BranchGEZ branches to l when src >= 0.
+func (b *Builder) BranchGEZ(src Reg, l Label) { b.b.Branch(isa.BrGEZ, src, l) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.b.Nop() }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return b.b.Len() }
+
+// Build finalises the program; unbound labels panic.
+func (b *Builder) Build() *Program { return &Program{p: b.b.Build()} }

@@ -1,0 +1,109 @@
+package uprog_test
+
+import (
+	"testing"
+
+	ballerino "repro"
+	"repro/uprog"
+)
+
+// sumProgram computes 1+2+…+n into R(1).
+func sumProgram(n int64) *uprog.Program {
+	b := uprog.NewBuilder("sum")
+	acc, i := uprog.R(1), uprog.R(2)
+	b.MovImm(acc, 0)
+	b.MovImm(i, n)
+	loop := b.NewLabel()
+	b.Bind(loop)
+	b.Add(acc, acc, i)
+	b.AddImm(i, i, -1)
+	b.BranchNEZ(i, loop)
+	return b.Build()
+}
+
+func TestCustomProgramRuns(t *testing.T) {
+	p := sumProgram(1 << 30)
+	res, err := ballerino.Run(ballerino.Config{
+		Arch:   "OoO",
+		Custom: p,
+		MaxOps: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "sum" {
+		t.Errorf("workload name = %q", res.Workload)
+	}
+	if res.Committed != 10_000 {
+		t.Errorf("committed = %d", res.Committed)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC = %v", res.IPC)
+	}
+}
+
+func TestAllOpcodesAssemble(t *testing.T) {
+	b := uprog.NewBuilder("all-ops")
+	r1, r2, r3 := uprog.R(1), uprog.R(2), uprog.R(3)
+	f1, f2, f3 := uprog.F(1), uprog.F(2), uprog.F(3)
+	b.SetMem(0x1000, 5)
+	b.SetReg(r2, 7)
+	b.MovImm(r1, 0x1000)
+	b.Load(r3, r1, 0)
+	b.Add(r3, r3, r2)
+	b.AddImm(r3, r3, 1)
+	b.Sub(r3, r3, r2)
+	b.Xor(r3, r3, r2)
+	b.And(r3, r3, r2)
+	b.Or(r3, r3, r2)
+	b.Shl(r3, r3, r2)
+	b.Shr(r3, r3, r2)
+	b.Slt(r3, r3, r2)
+	b.Mix(r3, r3, r2, 3)
+	b.Mul(r3, r3, r2)
+	b.Div(r3, r3, r2)
+	b.FpAdd(f3, f1, f2)
+	b.FpMul(f3, f3, f1)
+	b.FpDiv(f3, f3, f2)
+	b.Store(r3, r1, 8)
+	b.Nop()
+	skip := b.NewLabel()
+	b.BranchEQZ(r3, skip)
+	b.BranchLTZ(r3, skip)
+	b.BranchGEZ(r3, skip)
+	b.Bind(skip)
+	end := b.NewLabel()
+	b.Jmp(end)
+	b.Bind(end)
+	emitted := b.Len()
+	p := b.Build()
+	if p.Len() != emitted+1 { // +1 for the implicit halt
+		t.Errorf("Len mismatch: program %d, emitted %d", p.Len(), emitted)
+	}
+	// The program must simulate cleanly on every microarchitecture.
+	for _, arch := range ballerino.Architectures() {
+		if _, err := ballerino.Run(ballerino.Config{Arch: arch, Custom: p, MaxOps: 50}); err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+	}
+}
+
+func TestUnboundLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build with unbound label did not panic")
+		}
+	}()
+	b := uprog.NewBuilder("bad")
+	b.Jmp(b.NewLabel())
+	b.Build()
+}
+
+func TestRegisterConstructorsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("R(64) did not panic")
+		}
+	}()
+	uprog.R(64)
+}

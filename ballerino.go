@@ -18,11 +18,15 @@
 package ballerino
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"slices"
 
+	"repro/internal/check"
 	"repro/internal/config"
 	"repro/internal/energy"
+	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/sched"
@@ -61,6 +65,16 @@ type Config struct {
 	DVFS string
 	// MaxCycles aborts a stuck simulation (default 100× MaxOps).
 	MaxCycles uint64
+	// Audit enables the self-verification machinery: the per-cycle
+	// invariant auditor (internal/check) and the golden-model cross-check
+	// that replays the committed μop stream through an independent
+	// functional executor. Violations abort the run with a *SimError
+	// carrying a machine-state autopsy.
+	Audit bool
+	// FaultSpec, when non-empty, injects deterministic timing faults, e.g.
+	// "seed=1,jitter=8,flush=2000,squeeze=50,mdp=100" (see internal/faults).
+	// Faults are architecturally invisible; combine with Audit to prove it.
+	FaultSpec string
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +97,74 @@ func (c Config) withDefaults() Config {
 		c.DVFS = "L4"
 	}
 	return c
+}
+
+// SimError is the typed error every failing Run returns: the stage that
+// failed, the simulation's identity, and — for aborted simulations — the
+// cycle and a rendered machine-state autopsy.
+type SimError struct {
+	// Stage is where the failure happened: "config" (invalid Config),
+	// "simulate" (deadlock, cycle budget, invariant violation), "golden"
+	// (golden-model divergence) or "internal" (recovered panic — a bug).
+	Stage    string
+	Arch     string
+	Workload string
+	// Cycle is the simulation cycle of the failure (0 when not applicable).
+	Cycle uint64
+	// Autopsy is the rendered machine-state autopsy ("" when none).
+	Autopsy string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *SimError) Error() string {
+	id := ""
+	if e.Arch != "" || e.Workload != "" {
+		id = fmt.Sprintf(" (%s on %s)", e.Arch, e.Workload)
+	}
+	return fmt.Sprintf("ballerino: %s error%s: %v", e.Stage, id, e.Err)
+}
+
+func (e *SimError) Unwrap() error { return e.Err }
+
+// Validate reports whether the configuration (after defaulting) is
+// runnable. Run calls it first; every failure is a *SimError with Stage
+// "config" and a message naming the offending field and the valid values.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	fail := func(format string, args ...any) error {
+		return &SimError{Stage: "config", Arch: c.Arch, Workload: c.Workload,
+			Err: fmt.Errorf(format, args...)}
+	}
+	if !slices.Contains(Architectures(), c.Arch) {
+		return fail("unknown architecture %q (valid: %v)", c.Arch, Architectures())
+	}
+	if c.Width != 2 && c.Width != 4 && c.Width != 8 && c.Width != 10 {
+		return fail("unsupported issue width %d (valid: 2, 4, 8, 10)", c.Width)
+	}
+	if c.Custom == nil && !slices.Contains(Workloads(), c.Workload) &&
+		!slices.Contains(ExtraWorkloads(), c.Workload) {
+		return fail("unknown workload %q (valid: %v, extras: %v)", c.Workload, Workloads(), ExtraWorkloads())
+	}
+	if c.MaxOps < 0 {
+		return fail("MaxOps %d must not be negative", c.MaxOps)
+	}
+	if c.WarmupOps < 0 {
+		return fail("WarmupOps %d must not be negative", c.WarmupOps)
+	}
+	if c.FootprintBytes < 0 {
+		return fail("FootprintBytes %d must not be negative", c.FootprintBytes)
+	}
+	if err := (config.Options{NumPIQs: c.NumPIQs, PIQDepth: c.PIQDepth}).Validate(); err != nil {
+		return fail("%v", err)
+	}
+	if _, err := dvfsLevel(c.DVFS); err != nil {
+		return fail("%v", err)
+	}
+	if _, err := faults.Parse(c.FaultSpec); err != nil {
+		return fail("%v", err)
+	}
+	return nil
 }
 
 // DelayBreakdown is the average decode-to-issue delay of one instruction
@@ -131,6 +213,16 @@ type Result struct {
 	// SchedCounters exposes microarchitecture-specific counters
 	// (steering outcomes, issue sources, sharing activations, ...).
 	SchedCounters map[string]uint64
+
+	// AuditChecks is the number of per-cycle invariant audits that ran
+	// (0 unless Config.Audit was set).
+	AuditChecks uint64
+	// GoldenOps is the number of committed μops replayed and verified by
+	// the golden-model executor (0 unless Config.Audit was set).
+	GoldenOps uint64
+	// InjectedFaults counts faults actually injected, by kind (nil unless
+	// Config.FaultSpec was set).
+	InjectedFaults map[string]uint64
 }
 
 // Architectures lists the evaluated microarchitectures.
@@ -142,11 +234,15 @@ func Architectures() []string {
 	return names
 }
 
+// listParams generates kernels at a tiny footprint: names don't depend on
+// sizing, and listing must stay cheap enough for Config.Validate to call.
+var listParams = workload.Params{Footprint: 1 << 12}
+
 // Workloads lists the standard synthetic kernel suite (the set every
 // figure-level experiment averages over).
 func Workloads() []string {
 	var names []string
-	for _, w := range workload.All(workload.Params{}) {
+	for _, w := range workload.All(listParams) {
 		names = append(names, w.Name)
 	}
 	return names
@@ -157,15 +253,45 @@ func Workloads() []string {
 // butterflies).
 func ExtraWorkloads() []string {
 	var names []string
-	for _, w := range workload.Extras(workload.Params{}) {
+	for _, w := range workload.Extras(listParams) {
 		names = append(names, w.Name)
 	}
 	return names
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (*Result, error) {
+// Run executes one simulation. Every failure is a *SimError; no panic
+// escapes (a recovered panic surfaces as a *SimError with Stage
+// "internal").
+func Run(cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &SimError{Stage: "internal", Arch: cfg.Arch, Workload: cfg.Workload,
+				Err: fmt.Errorf("recovered panic: %v", r)}
+		}
+	}()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// simErr wraps a failure, pulling the cycle and the machine-state
+	// autopsy out of the typed pipeline errors when present.
+	simErr := func(stage string, cause error) *SimError {
+		se := &SimError{Stage: stage, Arch: cfg.Arch, Workload: cfg.Workload, Err: cause}
+		var de *check.DeadlockError
+		var ve *check.ViolationError
+		switch {
+		case errors.As(cause, &de) && de.Autopsy != nil:
+			se.Cycle = de.Autopsy.Cycle
+			se.Autopsy = de.Autopsy.String()
+		case errors.As(cause, &ve):
+			se.Cycle = ve.Cycle
+			if ve.Autopsy != nil {
+				se.Autopsy = ve.Autopsy.String()
+			}
+		}
+		return se
+	}
 
 	var program *prog.Program
 	if cfg.Custom != nil {
@@ -174,7 +300,7 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		w, err := workload.ByName(cfg.Workload, workload.Params{Footprint: cfg.FootprintBytes})
 		if err != nil {
-			return nil, err
+			return nil, simErr("config", err)
 		}
 		program = w.Program
 	}
@@ -185,28 +311,55 @@ func Run(cfg Config) (*Result, error) {
 		MaxCycles:  cfg.MaxCycles,
 	})
 	if err != nil {
-		return nil, err
+		return nil, simErr("config", err)
 	}
 	level, err := dvfsLevel(cfg.DVFS)
 	if err != nil {
-		return nil, err
+		return nil, simErr("config", err)
 	}
 
 	trace := prog.MustExecute(program, cfg.MaxOps+cfg.WarmupOps)
 	p, err := pipeline.New(m.Pipeline, trace.Ops, m.Factory)
 	if err != nil {
-		return nil, err
+		return nil, simErr("config", err)
 	}
+
+	var auditor *check.Auditor
+	var replay *prog.Replay
+	if cfg.Audit {
+		auditor = p.EnableAudit()
+		replay = prog.NewReplay(program)
+		p.OnCommit = func(u *sched.UOp) { replay.Apply(u.D) }
+	}
+	var injector *faults.Injector
+	if plan, _ := faults.Parse(cfg.FaultSpec); plan.Active() {
+		injector, err = faults.New(plan)
+		if err != nil {
+			return nil, simErr("config", err)
+		}
+		p.SetInjector(injector)
+	}
+
 	measured := uint64(len(trace.Ops))
 	if cfg.WarmupOps > 0 && len(trace.Ops) > cfg.WarmupOps {
 		if err := p.Warmup(uint64(cfg.WarmupOps)); err != nil {
-			return nil, fmt.Errorf("ballerino: warmup: %s on %s: %w", cfg.Arch, cfg.Workload, err)
+			return nil, simErr("simulate", fmt.Errorf("warmup: %w", err))
 		}
 		measured = uint64(len(trace.Ops) - cfg.WarmupOps)
 	}
 	s, err := p.Run(measured)
 	if err != nil {
-		return nil, fmt.Errorf("ballerino: %s on %s: %w", cfg.Arch, cfg.Workload, err)
+		return nil, simErr("simulate", err)
+	}
+	if replay != nil {
+		if rerr := replay.Err(); rerr != nil {
+			return nil, simErr("golden", rerr)
+		}
+		if replay.Ops() == uint64(len(trace.Ops)) {
+			if rerr := replay.VerifyFinal(trace.Final); rerr != nil {
+				return nil, simErr("golden", rerr)
+			}
+		}
 	}
 
 	renames, _ := p.Renamer().Stats()
@@ -221,7 +374,7 @@ func Run(cfg Config) (*Result, error) {
 	})
 
 	timeSec := float64(s.Cycles) / (level.ClockGHz * 1e9)
-	res := &Result{
+	res = &Result{
 		Arch:              cfg.Arch,
 		Workload:          cfg.Workload,
 		Width:             cfg.Width,
@@ -242,6 +395,22 @@ func Run(cfg Config) (*Result, error) {
 	if res.EDP > 0 {
 		res.Efficiency = 1 / res.EDP
 	}
+	if auditor != nil {
+		res.AuditChecks = auditor.Checks()
+	}
+	if replay != nil {
+		res.GoldenOps = replay.Ops()
+	}
+	if injector != nil {
+		fs := injector.Stats()
+		res.InjectedFaults = map[string]uint64{
+			"jittered_ops":  fs.JitteredOps,
+			"jitter_cycles": fs.JitterCycles,
+			"flushes":       fs.Flushes,
+			"squeezes":      fs.Squeezes,
+			"mdp_waits":     fs.MDPWaits,
+		}
+	}
 	for c := energy.Category(0); c < energy.NumCategories; c++ {
 		res.EnergyByComponent[c.String()] = eb.PJ[c]
 	}
@@ -254,7 +423,7 @@ func dvfsLevel(name string) (config.DVFSLevel, error) {
 			return l, nil
 		}
 	}
-	return config.DVFSLevel{}, fmt.Errorf("ballerino: unknown DVFS level %q (valid: L1..L4)", name)
+	return config.DVFSLevel{}, fmt.Errorf("unknown DVFS level %q (valid: L1..L4)", name)
 }
 
 func delayMap(s *stats.Sim) map[string]DelayBreakdown {

@@ -1,0 +1,123 @@
+package ballerino
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// runNoPanic runs cfg asserting that Run converts the failure into a typed
+// *SimError instead of panicking — the panic-free public API contract.
+func runNoPanic(t *testing.T, name string, cfg Config) (res *Result, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Run panicked: %v", name, r)
+		}
+	}()
+	return Run(cfg)
+}
+
+// TestInvalidConfigsReturnTypedErrors walks every user-reachable Config
+// mistake: each must come back as a *SimError with Stage "config" and a
+// message naming the valid values, and none may panic.
+func TestInvalidConfigsReturnTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring the error must mention
+	}{
+		{"unknown arch", Config{Arch: "Pentium"}, "unknown architecture"},
+		{"width 3", Config{Width: 3}, "2, 4, 8, 10"},
+		{"width 16", Config{Width: 16}, "2, 4, 8, 10"},
+		{"negative width", Config{Width: -8}, "2, 4, 8, 10"},
+		{"unknown workload", Config{Workload: "linpack"}, "unknown workload"},
+		{"negative ops", Config{MaxOps: -1}, "MaxOps"},
+		{"negative warmup", Config{WarmupOps: -5}, "WarmupOps"},
+		{"negative footprint", Config{FootprintBytes: -4096}, "FootprintBytes"},
+		{"negative piqs", Config{NumPIQs: -2}, "NumPIQs"},
+		{"negative piq depth", Config{PIQDepth: -4}, "PIQDepth"},
+		{"odd piq depth", Config{PIQDepth: 7}, "even"},
+		{"unknown dvfs", Config{DVFS: "L9"}, "DVFS"},
+		{"bad fault knob", Config{FaultSpec: "warp=9"}, "unknown knob"},
+		{"fault squeeze too high", Config{FaultSpec: "squeeze=1000"}, "squeeze"},
+		{"fault value not numeric", Config{FaultSpec: "jitter=much"}, "bad value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := runNoPanic(t, tc.name, tc.cfg)
+			if err == nil {
+				t.Fatalf("accepted invalid config, result %+v", res)
+			}
+			var se *SimError
+			if !errors.As(err, &se) {
+				t.Fatalf("want *SimError, got %T: %v", err, err)
+			}
+			if se.Stage != "config" {
+				t.Errorf("Stage = %q, want \"config\" (%v)", se.Stage, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err.Error(), tc.want)
+			}
+			// Validate alone must agree with Run.
+			if verr := tc.cfg.Validate(); verr == nil {
+				t.Error("Config.Validate accepted what Run rejected")
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsRunnableConfigs spot-checks that defaulting keeps
+// Validate permissive for every zero or customised-but-legal field.
+func TestValidateAcceptsRunnableConfigs(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Arch: "CASINO", Width: 2, Workload: "branchy"},
+		{Workload: "bst-search"}, // extra workloads run by name
+		{NumPIQs: 4, PIQDepth: 8},
+		{FaultSpec: "seed=3,jitter=4"},
+		{DVFS: "L1", Audit: true},
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", cfg, err)
+		}
+	}
+}
+
+// TestDeadlockReturnsAutopsy forces the cycle budget to trip and checks the
+// typed error carries a populated machine-state autopsy.
+func TestDeadlockReturnsAutopsy(t *testing.T) {
+	_, err := runNoPanic(t, "deadlock", Config{
+		Arch: "Ballerino", Workload: "pointer-chase", MaxOps: 200_000, MaxCycles: 2_000,
+	})
+	if err == nil {
+		t.Fatal("run inside an impossible cycle budget succeeded")
+	}
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SimError, got %T: %v", err, err)
+	}
+	if se.Stage != "simulate" {
+		t.Errorf("Stage = %q, want \"simulate\"", se.Stage)
+	}
+	if se.Cycle == 0 {
+		t.Error("Cycle not populated")
+	}
+	for _, want := range []string{"deadlock autopsy", "rob head", "progress:"} {
+		if !strings.Contains(se.Autopsy, want) {
+			t.Errorf("autopsy missing %q:\n%s", want, se.Autopsy)
+		}
+	}
+}
+
+// TestSimErrorUnwrap checks errors.Is/As reach the underlying cause.
+func TestSimErrorUnwrap(t *testing.T) {
+	inner := errors.New("inner cause")
+	se := &SimError{Stage: "simulate", Err: inner}
+	if !errors.Is(se, inner) {
+		t.Error("errors.Is does not reach the wrapped cause")
+	}
+	if !strings.Contains(se.Error(), "inner cause") {
+		t.Errorf("Error() = %q", se.Error())
+	}
+}

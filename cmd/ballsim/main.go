@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,8 @@ func main() {
 		depth   = flag.Int("piq-depth", 0, "override P-IQ depth (0 = Table II)")
 		noMDP   = flag.Bool("no-mdp", false, "disable memory dependence prediction")
 		dvfs    = flag.String("dvfs", "L4", "operating point L1..L4")
+		audit   = flag.Bool("audit", false, "verify simulation invariants every cycle and cross-check commits against the golden model")
+		inject  = flag.String("inject", "", "inject deterministic timing faults, e.g. seed=1,jitter=8,flush=2000,squeeze=50,mdp=100")
 		list    = flag.Bool("list", false, "list architectures and workloads")
 		compare = flag.Bool("compare", false, "run every architecture on every kernel")
 		verbose = flag.Bool("v", false, "print scheduler counters and energy breakdown")
@@ -61,9 +64,15 @@ func main() {
 		PIQDepth:       *depth,
 		DisableMDP:     *noMDP,
 		DVFS:           *dvfs,
+		Audit:          *audit,
+		FaultSpec:      *inject,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		var se *ballerino.SimError
+		if errors.As(err, &se) && se.Autopsy != "" {
+			fmt.Fprintln(os.Stderr, se.Autopsy)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("%s on %s (%d-wide, %d μops)\n", res.Arch, res.Workload, res.Width, res.Committed)
@@ -71,6 +80,16 @@ func main() {
 	fmt.Printf("  IPC         %.3f\n", res.IPC)
 	fmt.Printf("  mispredict  %.2f%%\n", 100*res.MispredictRate)
 	fmt.Printf("  violations  %d (flushes %d)\n", res.Violations, res.Flushes)
+	if res.AuditChecks > 0 {
+		fmt.Printf("  audit       %d cycle checks, %d μops golden-verified, 0 violations\n",
+			res.AuditChecks, res.GoldenOps)
+	}
+	if res.InjectedFaults != nil {
+		fmt.Printf("  injected    %d flushes, %d squeezes, %d mdp waits, %d jittered ops (+%d cycles)\n",
+			res.InjectedFaults["flushes"], res.InjectedFaults["squeezes"],
+			res.InjectedFaults["mdp_waits"], res.InjectedFaults["jittered_ops"],
+			res.InjectedFaults["jitter_cycles"])
+	}
 	fmt.Printf("  energy      %.2f µJ (EDP %.3g pJ·s)\n", res.EnergyPJ/1e6, res.EDP)
 	for _, cls := range []string{"Ld", "LdC", "Rst", "All"} {
 		d := res.Delay[cls]

@@ -154,8 +154,35 @@ type Options struct {
 	MaxCycles uint64
 }
 
+// Validate reports option errors before any structure is built, so user
+// input surfaces as an error instead of a constructor panic deep in the
+// scheduler.
+func (o Options) Validate() error {
+	if o.NumPIQs < 0 {
+		return fmt.Errorf("config: NumPIQs %d must not be negative", o.NumPIQs)
+	}
+	if o.PIQDepth < 0 {
+		return fmt.Errorf("config: PIQDepth %d must not be negative", o.PIQDepth)
+	}
+	if o.PIQDepth > 0 && o.PIQDepth%2 != 0 {
+		return fmt.Errorf("config: PIQDepth %d must be even (each P-IQ splits into two shareable halves)", o.PIQDepth)
+	}
+	if o.SIQSize < 0 || o.SIQWindow < 0 {
+		return fmt.Errorf("config: SIQSize %d / SIQWindow %d must not be negative", o.SIQSize, o.SIQWindow)
+	}
+	for i, n := range o.CasinoSizes {
+		if n <= 0 {
+			return fmt.Errorf("config: CasinoSizes[%d] = %d; every cascade queue needs at least one entry", i, n)
+		}
+	}
+	return nil
+}
+
 // NewMachine builds the Machine for an architecture at an issue width.
 func NewMachine(arch Arch, width int, opt Options) (*Machine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	wp, err := paramsFor(width)
 	if err != nil {
 		return nil, err

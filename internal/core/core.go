@@ -18,6 +18,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/mdp"
 	"repro/internal/rename"
@@ -59,6 +61,28 @@ type Config struct {
 	Options   Options
 }
 
+// Validate reports configuration errors: the geometry the sharing-mode
+// pointer scheme requires (an even P-IQ depth splittable into two halves)
+// and positive queue counts and window sizes.
+func (c Config) Validate() error {
+	if c.SIQSize <= 0 {
+		return fmt.Errorf("core: SIQSize %d must be positive", c.SIQSize)
+	}
+	if c.SIQWindow <= 0 {
+		return fmt.Errorf("core: SIQWindow %d must be positive", c.SIQWindow)
+	}
+	if c.NumPIQs <= 0 {
+		return fmt.Errorf("core: NumPIQs %d must be positive", c.NumPIQs)
+	}
+	if c.PIQDepth < 2 || c.PIQDepth%2 != 0 {
+		return fmt.Errorf("core: PIQDepth %d must be an even number ≥ 2 (sharing mode splits a queue into equal halves)", c.PIQDepth)
+	}
+	if c.Width <= 0 {
+		return fmt.Errorf("core: Width %d must be positive", c.Width)
+	}
+	return nil
+}
+
 // Ballerino implements sched.Scheduler.
 type Ballerino struct {
 	cfg Config
@@ -88,9 +112,12 @@ type Ballerino struct {
 }
 
 // New builds a Ballerino scheduler over the shared P-SCB (renamer) and MDP.
+// The configuration must already satisfy Validate; config.NewMachine checks
+// it before constructing the scheduler factory, so the panic below is an
+// internal assertion, not a user-reachable error path.
 func New(cfg Config, rn *rename.Renamer, m *mdp.MDP) *Ballerino {
-	if cfg.SIQSize <= 0 || cfg.NumPIQs <= 0 || cfg.PIQDepth < 2 || cfg.SIQWindow <= 0 {
-		panic("core: invalid Ballerino configuration")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	b := &Ballerino{cfg: cfg, rn: rn, mdp: m, piqs: make([]piq, cfg.NumPIQs)}
 	for i := range b.piqs {
@@ -329,6 +356,31 @@ func (b *Ballerino) Flush(seq uint64) {
 	for i := range b.piqs {
 		b.piqs[i].flushFrom(seq)
 	}
+}
+
+// Queues implements sched.Inspector: the S-IQ plus every P-IQ partition,
+// each an in-order FIFO holding one dependence chain.
+func (b *Ballerino) Queues() []sched.QueueSnapshot {
+	siq := make([]uint64, len(b.siq))
+	for i, u := range b.siq {
+		siq[i] = u.Seq()
+	}
+	qs := []sched.QueueSnapshot{{Name: "S-IQ", FIFO: true, Cap: b.cfg.SIQSize, Seqs: siq}}
+	for i := range b.piqs {
+		q := &b.piqs[i]
+		for pi := range q.parts {
+			if q.parts[pi].size == 0 && q.parts[pi].count == 0 {
+				continue // partition 1 does not exist in normal mode
+			}
+			qs = append(qs, sched.QueueSnapshot{
+				Name: fmt.Sprintf("P-IQ%d.%d", i, pi),
+				FIFO: true,
+				Cap:  q.parts[pi].size,
+				Seqs: q.partSeqs(pi, nil),
+			})
+		}
+	}
+	return qs
 }
 
 // Energy implements sched.Scheduler.

@@ -223,6 +223,16 @@ func (q *piq) maybeCollapse() {
 	q.active = 0
 }
 
+// partSeqs appends partition partIdx's μop sequence numbers in head-first
+// order (used by the invariant auditor and the deadlock autopsy).
+func (q *piq) partSeqs(partIdx int, dst []uint64) []uint64 {
+	p := &q.parts[partIdx]
+	for i := 0; i < p.count; i++ {
+		dst = append(dst, q.buf[p.slot(i)].Seq())
+	}
+	return dst
+}
+
 // flushFrom drops all μops with seq ≥ bound from both partitions (each
 // partition holds μops in program order, so this truncates suffixes).
 func (q *piq) flushFrom(bound uint64) {

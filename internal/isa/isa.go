@@ -286,6 +286,11 @@ type DynInst struct {
 	Src1 Reg
 	Src2 Reg
 
+	// Imm carries the static instruction's immediate (ALU immediate or
+	// address offset) so an independent replay executor can recompute
+	// results and effective addresses from the committed μop stream.
+	Imm int64
+
 	Addr  uint64 // effective address (loads/stores)
 	Size  uint8  // access size in bytes (always 8 in this machine)
 	Taken bool   // branch outcome

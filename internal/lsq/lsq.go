@@ -5,6 +5,8 @@
 package lsq
 
 import (
+	"fmt"
+
 	"repro/internal/sched"
 )
 
@@ -16,15 +18,39 @@ type Queues struct {
 }
 
 // New returns empty queues with the given capacities.
-func New(lqCap, sqCap int) *Queues {
+func New(lqCap, sqCap int) (*Queues, error) {
 	if lqCap <= 0 || sqCap <= 0 {
-		panic("lsq: capacities must be positive")
+		return nil, fmt.Errorf("lsq: capacities must be positive (LQ %d, SQ %d)", lqCap, sqCap)
 	}
-	return &Queues{lqCap: lqCap, sqCap: sqCap}
+	return &Queues{lqCap: lqCap, sqCap: sqCap}, nil
 }
 
 // Counts returns the current (load, store) occupancies.
 func (q *Queues) Counts() (int, int) { return len(q.lq), len(q.sq) }
+
+// Caps returns the (load, store) queue capacities.
+func (q *Queues) Caps() (int, int) { return q.lqCap, q.sqCap }
+
+// Loads returns the in-flight loads in program order. The slice is the
+// queue's backing storage: callers must treat it as read-only.
+func (q *Queues) Loads() []*sched.UOp { return q.lq }
+
+// Stores returns the in-flight stores in program order. The slice is the
+// queue's backing storage: callers must treat it as read-only.
+func (q *Queues) Stores() []*sched.UOp { return q.sq }
+
+// YoungestUnissuedStore returns the youngest in-flight store that has not
+// issued yet, or nil. The fault injector uses it to fabricate adversarial
+// (but deadlock-free) memory dependence waits: the target is always
+// strictly older than the μop being dispatched.
+func (q *Queues) YoungestUnissuedStore() *sched.UOp {
+	for i := len(q.sq) - 1; i >= 0; i-- {
+		if !q.sq[i].Issued {
+			return q.sq[i]
+		}
+	}
+	return nil
+}
 
 // CanAccept reports whether u (if a memory operation) has a queue slot.
 func (q *Queues) CanAccept(u *sched.UOp) bool {

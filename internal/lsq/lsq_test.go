@@ -19,6 +19,15 @@ func alu(seq uint64) *sched.UOp {
 	return &sched.UOp{D: &isa.DynInst{Seq: seq, Op: isa.OpIntALU}}
 }
 
+func mustNew(t *testing.T, lq, sq int) *Queues {
+	t.Helper()
+	q, err := New(lq, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
 func issued(u *sched.UOp, issue, complete uint64) *sched.UOp {
 	u.Issued = true
 	u.IssueCycle = issue
@@ -26,17 +35,17 @@ func issued(u *sched.UOp, issue, complete uint64) *sched.UOp {
 	return u
 }
 
-func TestNewPanicsOnBadCapacity(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic")
-		}
-	}()
-	New(0, 4)
+func TestNewRejectsBadCapacity(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("no error for zero LQ capacity")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Error("no error for negative SQ capacity")
+	}
 }
 
 func TestCapacityAccounting(t *testing.T) {
-	q := New(2, 1)
+	q := mustNew(t, 2, 1)
 	l1, l2, l3 := ld(1, 8), ld(2, 16), ld(3, 24)
 	s1, s2 := st(4, 8), st(5, 16)
 
@@ -72,7 +81,7 @@ func TestCapacityAccounting(t *testing.T) {
 }
 
 func TestStoreBySeq(t *testing.T) {
-	q := New(4, 4)
+	q := mustNew(t, 4, 4)
 	s := st(7, 64)
 	q.Insert(s)
 	if got := q.StoreBySeq(7); got != s {
@@ -88,7 +97,7 @@ func TestStoreBySeq(t *testing.T) {
 }
 
 func TestForwardingPicksYoungestResolvedOlderStore(t *testing.T) {
-	q := New(8, 8)
+	q := mustNew(t, 8, 8)
 	old := issued(st(1, 64), 5, 6)
 	mid := issued(st(3, 64), 8, 9)
 	young := issued(st(9, 64), 10, 11) // YOUNGER than the load
@@ -112,7 +121,7 @@ func TestForwardingPicksYoungestResolvedOlderStore(t *testing.T) {
 }
 
 func TestViolationDetection(t *testing.T) {
-	q := New(8, 8)
+	q := mustNew(t, 8, 8)
 	// Store resolves at cycle 50; loads that read (issue+1) before then
 	// and match the address violate.
 	store := issued(st(10, 64), 49, 50)
@@ -140,7 +149,7 @@ func TestViolationDetection(t *testing.T) {
 }
 
 func TestProgramOrderPreserved(t *testing.T) {
-	q := New(16, 16)
+	q := mustNew(t, 16, 16)
 	for i := uint64(0); i < 10; i++ {
 		q.Insert(ld(i*2, 8*i))
 		q.Insert(st(i*2+1, 8*i))

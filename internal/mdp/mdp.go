@@ -10,6 +10,8 @@
 // already followed it there.
 package mdp
 
+import "fmt"
+
 // NoStore marks the absence of an in-flight producer store.
 const NoStore = ^uint64(0)
 
@@ -24,6 +26,18 @@ type Config struct {
 
 // DefaultConfig returns the Table I configuration.
 func DefaultConfig() Config { return Config{SSITEntries: 1024, SSIDBits: 7} }
+
+// Validate reports configuration errors. The SSIT is direct-mapped by PC,
+// so its size must be a power of two; the LFST has 2^SSIDBits entries.
+func (c Config) Validate() error {
+	if c.SSITEntries <= 0 || c.SSITEntries&(c.SSITEntries-1) != 0 {
+		return fmt.Errorf("mdp: SSITEntries %d must be a positive power of two", c.SSITEntries)
+	}
+	if c.SSIDBits <= 0 || c.SSIDBits > 20 {
+		return fmt.Errorf("mdp: SSIDBits %d out of range (1..20)", c.SSIDBits)
+	}
+	return nil
+}
 
 // Stats counts predictor events.
 type Stats struct {
@@ -55,13 +69,12 @@ type MDP struct {
 	stats    Stats
 }
 
-// New returns an MDP with empty tables.
+// New returns an MDP with empty tables. The configuration must satisfy
+// Validate; pipeline.New checks it before construction, so the panic below
+// is an internal assertion, not a user-reachable error path.
 func New(cfg Config) *MDP {
-	if cfg.SSITEntries <= 0 || cfg.SSITEntries&(cfg.SSITEntries-1) != 0 {
-		panic("mdp: SSITEntries must be a positive power of two")
-	}
-	if cfg.SSIDBits <= 0 || cfg.SSIDBits > 20 {
-		panic("mdp: SSIDBits out of range")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	m := &MDP{
 		cfg:  cfg,

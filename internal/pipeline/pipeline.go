@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/bpred"
+	"repro/internal/check"
 	"repro/internal/isa"
 	"repro/internal/lsq"
 	"repro/internal/mdp"
@@ -21,6 +22,26 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
+
+// Injector is the fault-injection hook surface. internal/faults implements
+// it; every hook may only perturb timing (extra latency, vetoed dispatch,
+// extra flushes, fabricated waits on strictly older stores), never
+// architectural results — the invariant auditor runs over faulted machines
+// too.
+type Injector interface {
+	// ExtraLatency returns extra completion cycles for a μop granted this
+	// cycle.
+	ExtraLatency(u *sched.UOp, cycle uint64) uint64
+	// StallDispatch vetoes all dispatch this cycle when true.
+	StallDispatch(cycle uint64) bool
+	// FlushNow requests a mid-ROB flush this cycle; the pipeline picks a
+	// bound younger than the ROB head so forward progress is preserved.
+	FlushNow(cycle uint64) bool
+	// ForceMDPWait requests a fabricated memory-dependence wait for the
+	// memory μop being renamed; the pipeline targets the youngest unissued
+	// store (strictly older than u).
+	ForceMDPWait(u *sched.UOp, cycle uint64) bool
+}
 
 // Config describes the pipeline surrounding the scheduler.
 type Config struct {
@@ -50,6 +71,10 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles uint64
+	// StallCycles is the forward-progress watchdog: a run that goes this
+	// many cycles without committing a single μop is declared deadlocked
+	// and aborted with a machine-state autopsy (0 = no watchdog).
+	StallCycles uint64
 }
 
 // DefaultConfig returns the 8-wide Table I pipeline (scheduler not included).
@@ -70,6 +95,7 @@ func DefaultConfig() Config {
 		MDP:             mdp.DefaultConfig(),
 		Mem:             mem.DefaultConfig(),
 		UseMDP:          true,
+		StallCycles:     200_000,
 	}
 }
 
@@ -86,6 +112,9 @@ func (c Config) Validate() error {
 	}
 	if c.ROBSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0 || c.DecodeQueue <= 0 {
 		return fmt.Errorf("pipeline: queue sizes must be positive")
+	}
+	if err := c.MDP.Validate(); err != nil {
+		return err
 	}
 	return c.Rename.Validate()
 }
@@ -129,6 +158,23 @@ type Pipeline struct {
 	warmupCycles  uint64
 	warmupCommits uint64
 
+	// Lifetime μop accounting, immune to the warmup statistics reset;
+	// the auditor's no-lost-μop invariant reconciles these every cycle.
+	totFetched   uint64
+	totCommitted uint64
+	totSquashed  uint64
+
+	// lastCommitCycle feeds the forward-progress watchdog.
+	lastCommitCycle uint64
+
+	// audit, when non-nil, verifies the simulation invariants every cycle;
+	// auditErr latches the first violation.
+	audit    *check.Auditor
+	auditErr error
+
+	// inj, when non-nil, perturbs the machine with timing-only faults.
+	inj Injector
+
 	stats stats.Sim
 
 	// OnCommit, when non-nil, observes every committed μop in commit
@@ -165,13 +211,17 @@ func New(cfg Config, trace []isa.DynInst, mk SchedulerFactory) (*Pipeline, error
 		return nil, err
 	}
 	m := mdp.New(cfg.MDP)
+	q, err := lsq.New(cfg.LQSize, cfg.SQSize)
+	if err != nil {
+		return nil, err
+	}
 	p := &Pipeline{
 		cfg:          cfg,
 		rn:           rn,
 		pred:         bpred.New(),
 		mdp:          m,
 		mem:          h,
-		lsq:          lsq.New(cfg.LQSize, cfg.SQSize),
+		lsq:          q,
 		trace:        trace,
 		portInflight: make([]int, cfg.Ports.Width()),
 		divBusyUntil: make([]uint64, cfg.Ports.Width()),
@@ -204,6 +254,47 @@ func (p *Pipeline) Predictor() *bpred.Predictor { return p.pred }
 
 // Cycle returns the current simulation cycle.
 func (p *Pipeline) Cycle() uint64 { return p.cycle }
+
+// --- check.Source introspection surface ---
+
+// ROBLen returns the live reorder-buffer depth.
+func (p *Pipeline) ROBLen() int { return len(p.rob) }
+
+// ROBEntry returns the i-th oldest in-flight μop.
+func (p *Pipeline) ROBEntry(i int) *sched.UOp { return p.rob[i].u }
+
+// DecodeDepth returns the decode-queue depth.
+func (p *Pipeline) DecodeDepth() int { return len(p.decodeQ) }
+
+// FetchIndex returns the next trace index to fetch.
+func (p *Pipeline) FetchIndex() int { return p.fetchIdx }
+
+// TraceLen returns the dynamic trace length.
+func (p *Pipeline) TraceLen() int { return len(p.trace) }
+
+// Totals returns lifetime (fetched, committed, squashed) μop counts,
+// unaffected by the Warmup statistics reset.
+func (p *Pipeline) Totals() (fetched, committed, squashed uint64) {
+	return p.totFetched, p.totCommitted, p.totSquashed
+}
+
+// LSQ exposes the load/store queues.
+func (p *Pipeline) LSQ() *lsq.Queues { return p.lsq }
+
+var _ check.Source = (*Pipeline)(nil)
+
+// EnableAudit attaches a fresh invariant auditor: every cycle's machine
+// state is verified, and every committed μop is checked against the
+// expected commit stream. A violation aborts the run with a
+// *check.ViolationError carrying a machine-state autopsy. Must be called
+// before the first cycle (the auditor expects commit to start at seq 0).
+func (p *Pipeline) EnableAudit() *check.Auditor {
+	p.audit = check.NewAuditor()
+	return p.audit
+}
+
+// SetInjector attaches a fault injector (nil detaches).
+func (p *Pipeline) SetInjector(inj Injector) { p.inj = inj }
 
 // DebugState renders a snapshot of the pipeline's head state, used when
 // diagnosing stalls.
@@ -241,16 +332,31 @@ func (p *Pipeline) Warmup(warmupCommits uint64) error {
 }
 
 // Run simulates until maxCommits μops commit (or the trace drains) and
-// returns the stats. It is an error to exceed cfg.MaxCycles.
+// returns the stats. Exceeding cfg.MaxCycles, tripping the forward-progress
+// watchdog (cfg.StallCycles without a commit) or — with auditing enabled —
+// breaking a simulation invariant aborts the run; the deadlock paths return
+// a *check.DeadlockError and the audit path a *check.ViolationError, both
+// carrying a structured machine-state autopsy.
 func (p *Pipeline) Run(maxCommits uint64) (*stats.Sim, error) {
 	for p.stats.Committed < maxCommits {
 		if p.drained() {
 			break
 		}
 		p.step()
+		if p.auditErr != nil {
+			return &p.stats, p.auditErr
+		}
 		if p.cfg.MaxCycles > 0 && p.cycle > p.cfg.MaxCycles {
-			return &p.stats, fmt.Errorf("pipeline: exceeded %d cycles (deadlock?) at %s",
-				p.cfg.MaxCycles, p.stats.String())
+			return &p.stats, &check.DeadlockError{
+				Reason:  fmt.Sprintf("exceeded the %d-cycle budget at %s", p.cfg.MaxCycles, p.stats.String()),
+				Autopsy: check.Collect(p),
+			}
+		}
+		if p.cfg.StallCycles > 0 && p.cycle-p.lastCommitCycle > p.cfg.StallCycles {
+			return &p.stats, &check.DeadlockError{
+				Reason:  fmt.Sprintf("no commit for %d cycles (last at cycle %d)", p.cycle-p.lastCommitCycle, p.lastCommitCycle),
+				Autopsy: check.Collect(p),
+			}
 		}
 	}
 	p.stats.Cycles = p.cycle - p.warmupCycles
@@ -267,11 +373,32 @@ func (p *Pipeline) drained() bool {
 func (p *Pipeline) step() {
 	p.commit()
 	p.processCompletions()
+	p.injectFlush()
 	p.issue()
 	p.dispatch()
 	p.fetch()
 	p.stats.OccupancySum += uint64(p.sched.Occupancy())
+	if p.audit != nil && p.auditErr == nil {
+		if err := p.audit.Check(p); err != nil {
+			err.(*check.ViolationError).Autopsy = check.Collect(p)
+			p.auditErr = err
+		}
+	}
 	p.cycle++
+}
+
+// injectFlush performs a fault-injected mid-ROB flush. The bound is an
+// entry past the midpoint — never the head — so the flush stresses rename
+// recovery and refetch without endangering forward progress.
+func (p *Pipeline) injectFlush() {
+	if p.inj == nil || len(p.rob) < 2 || !p.inj.FlushNow(p.cycle) {
+		return
+	}
+	idx := 1 + len(p.rob)/2
+	if idx >= len(p.rob) {
+		idx = len(p.rob) - 1
+	}
+	p.flushFrom(p.rob[idx].u.Seq())
 }
 
 // --- Commit ---
@@ -290,7 +417,17 @@ func (p *Pipeline) commit() {
 		}
 		p.lsq.Remove(e.u)
 		p.stats.Committed++
+		p.totCommitted++
+		p.lastCommitCycle = p.cycle
 		p.stats.Record(e.u)
+		if p.audit != nil && p.auditErr == nil {
+			if err := p.audit.ObserveCommit(e.u); err != nil {
+				ve := err.(*check.ViolationError)
+				ve.Cycle = p.cycle
+				ve.Autopsy = check.Collect(p)
+				p.auditErr = ve
+			}
+		}
 		if p.OnCommit != nil {
 			p.OnCommit(e.u)
 		}
@@ -349,11 +486,16 @@ func (p *Pipeline) flushFrom(bound uint64) {
 
 	// RAT restoration must unwind renames in reverse rename order. The
 	// decode queue holds only μops younger than everything in the ROB, so
-	// its (renamed) entries are undone first, youngest first.
+	// its (renamed) entries are undone first, youngest first. Entries that
+	// never renamed have no state to undo but still count as squashed for
+	// the lifetime μop accounting.
 	for i := len(p.decodeQ) - 1; i >= 0; i-- {
 		de := p.decodeQ[i]
 		if de.renamed {
 			p.squash(de.u, de.rec)
+		} else {
+			de.u.Squashed = true
+			p.totSquashed++
 		}
 	}
 	p.decodeQ = p.decodeQ[:0]
@@ -381,6 +523,8 @@ func (p *Pipeline) flushFrom(bound uint64) {
 // squash undoes one μop's side effects (reverse program order).
 func (p *Pipeline) squash(u *sched.UOp, rec rename.Entry) {
 	u.Squashed = true
+	p.totSquashed++
+	p.stats.Squashed++
 	p.rn.Squash(rec)
 	if !u.Issued {
 		p.portInflight[u.Port]--
@@ -461,6 +605,12 @@ func (p *Pipeline) grant(u *sched.UOp) {
 		}
 	}
 
+	if p.inj != nil {
+		// Fault-injected latency jitter: applied before the completion
+		// event and the wakeup timestamp so both stay consistent.
+		done += p.inj.ExtraLatency(u, p.cycle)
+	}
+
 	u.CompleteCycle = done
 	if u.Dst != rename.PhysNone {
 		p.rn.SetReadyAt(u.Dst, done)
@@ -495,6 +645,10 @@ func (p *Pipeline) executeLoad(u *sched.UOp) uint64 {
 // --- Rename / dispatch ---
 
 func (p *Pipeline) dispatch() {
+	if p.inj != nil && len(p.decodeQ) > 0 && p.inj.StallDispatch(p.cycle) {
+		p.stats.DispatchStall++
+		return
+	}
 	for n := 0; n < p.cfg.RenameWidth && len(p.decodeQ) > 0; n++ {
 		de := p.decodeQ[0]
 		u := de.u
@@ -574,6 +728,16 @@ func (p *Pipeline) renameOne(de *decodeEntry) bool {
 		}
 	}
 
+	// Fault-injected memory-dependence wait: target the youngest unissued
+	// store, which is strictly older than u (u is not in the LSQ yet), so
+	// fabricated waits cannot form a cycle.
+	if p.inj != nil && u.D.Op.IsMem() && u.MDPWait == mdp.NoStore &&
+		p.inj.ForceMDPWait(u, p.cycle) {
+		if st := p.lsq.YoungestUnissuedStore(); st != nil {
+			u.MDPWait = st.Seq()
+		}
+	}
+
 	// Issue-port arbitration (§II-A): least-loaded suitable port.
 	u.Port = p.cfg.Ports.Pick(u.D.Op, p.portInflight)
 	p.portInflight[u.Port]++
@@ -606,6 +770,7 @@ func (p *Pipeline) fetch() {
 			SSID:        -1,
 		}
 		p.stats.Fetched++
+		p.totFetched++
 		p.decodeQ = append(p.decodeQ, &decodeEntry{u: u, visibleAt: p.cycle + p.cfg.FrontLatency})
 		p.fetchIdx++
 

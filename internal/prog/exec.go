@@ -132,6 +132,7 @@ func Execute(p *Program, maxOps int) (*Trace, error) {
 			Fn:   in.Fn,
 			Cond: in.Cond,
 			Dst:  in.Dst,
+			Imm:  in.Imm,
 			Size: 8,
 		}
 		next := pc + 1

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"repro/internal/rename"
 )
 
@@ -146,6 +148,23 @@ func (s *CASINO) Flush(seq uint64) {
 	for i := range s.queues {
 		s.queues[i].flushFrom(seq)
 	}
+}
+
+// Queues implements Inspector: each cascade stage is an in-order queue.
+func (s *CASINO) Queues() []QueueSnapshot {
+	qs := make([]QueueSnapshot, len(s.queues))
+	for i := range s.queues {
+		seqs := make([]uint64, len(s.queues[i].buf))
+		for j, u := range s.queues[i].buf {
+			seqs[j] = u.Seq()
+		}
+		name := fmt.Sprintf("S-IQ%d", i)
+		if i == len(s.queues)-1 {
+			name = "IQ"
+		}
+		qs[i] = QueueSnapshot{Name: name, FIFO: true, Cap: s.queues[i].cap, Seqs: seqs}
+	}
+	return qs
 }
 
 // Energy implements Scheduler.

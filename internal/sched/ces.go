@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/mdp"
 	"repro/internal/rename"
@@ -223,6 +225,19 @@ func (s *CES) Flush(seq uint64) {
 	for i := range s.iqs {
 		s.iqs[i].flushFrom(seq)
 	}
+}
+
+// Queues implements Inspector: every P-IQ is an in-order dependence chain.
+func (s *CES) Queues() []QueueSnapshot {
+	qs := make([]QueueSnapshot, len(s.iqs))
+	for i := range s.iqs {
+		seqs := make([]uint64, len(s.iqs[i].buf))
+		for j, u := range s.iqs[i].buf {
+			seqs[j] = u.Seq()
+		}
+		qs[i] = QueueSnapshot{Name: fmt.Sprintf("P-IQ%d", i), FIFO: true, Cap: s.iqs[i].cap, Seqs: seqs}
+	}
+	return qs
 }
 
 // Energy implements Scheduler.

@@ -118,6 +118,18 @@ func (s *FXA) Flush(seq uint64) {
 	s.backend.Flush(seq)
 }
 
+// Queues implements Inspector: the IXU's in-flight μops (dispatch order,
+// but executed by operand arrival — not FIFO discipline) plus the back-end
+// out-of-order IQ.
+func (s *FXA) Queues() []QueueSnapshot {
+	seqs := make([]uint64, len(s.ixu))
+	for i, op := range s.ixu {
+		seqs[i] = op.u.Seq()
+	}
+	qs := []QueueSnapshot{{Name: "IXU", FIFO: false, Cap: len(s.ixu), Seqs: seqs}}
+	return append(qs, s.backend.Queues()...)
+}
+
 // Energy implements Scheduler.
 func (s *FXA) Energy() EnergyEvents {
 	e := s.events

@@ -79,6 +79,15 @@ func (s *InO) Flush(seq uint64) {
 	}
 }
 
+// Queues implements Inspector: the single in-order FIFO.
+func (s *InO) Queues() []QueueSnapshot {
+	seqs := make([]uint64, len(s.entries))
+	for i, u := range s.entries {
+		seqs[i] = u.Seq()
+	}
+	return []QueueSnapshot{{Name: "IQ", FIFO: true, Cap: s.cap, Seqs: seqs}}
+}
+
 // Energy implements Scheduler.
 func (s *InO) Energy() EnergyEvents { return s.events }
 

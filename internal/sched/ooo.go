@@ -133,6 +133,18 @@ func (s *OoO) Flush(seq uint64) {
 	}
 }
 
+// Queues implements Inspector: one random-access (non-FIFO) queue whose
+// entries are listed in physical slot order.
+func (s *OoO) Queues() []QueueSnapshot {
+	var seqs []uint64
+	for _, u := range s.slots {
+		if u != nil {
+			seqs = append(seqs, u.Seq())
+		}
+	}
+	return []QueueSnapshot{{Name: "IQ", FIFO: false, Cap: len(s.slots), Seqs: seqs}}
+}
+
 // Energy implements Scheduler.
 func (s *OoO) Energy() EnergyEvents { return s.events }
 

@@ -146,6 +146,25 @@ type Scheduler interface {
 	Counters() map[string]uint64
 }
 
+// QueueSnapshot is a read-only view of one internal scheduler queue, used
+// by the invariant auditor (internal/check) and the deadlock autopsy. Seqs
+// lists the buffered μops' dynamic sequence numbers in head-first order.
+// FIFO marks queues whose entries must stay in ascending program order
+// (in-order queue discipline); random-access structures report FIFO=false.
+type QueueSnapshot struct {
+	Name string
+	FIFO bool
+	Cap  int
+	Seqs []uint64
+}
+
+// Inspector is implemented by schedulers that can expose their internal
+// queue state for auditing. The snapshots must cover every buffered μop
+// exactly once (their total length equals Occupancy()).
+type Inspector interface {
+	Queues() []QueueSnapshot
+}
+
 // portMask tracks per-cycle issue-port grants without allocating. Ports
 // are bounded by the widest machine (16).
 type PortMask [16]bool

@@ -44,6 +44,7 @@ type Sim struct {
 	Mispredicts   uint64
 	Violations    uint64 // memory order violations detected
 	Flushes       uint64 // pipeline flushes (violations; mispredicts stall fetch instead)
+	Squashed      uint64 // μops removed by pipeline flushes (later refetched)
 	DispatchStall uint64 // cycles rename/dispatch could not move the head μop
 
 	// Delay breakdowns indexed by sched.Class, plus the all-class sum.

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/sched"
@@ -75,6 +77,31 @@ type Config struct {
 	// "seed=1,jitter=8,flush=2000,squeeze=50,mdp=100" (see internal/faults).
 	// Faults are architecturally invisible; combine with Audit to prove it.
 	FaultSpec string
+
+	// Observability (internal/obs). Any non-empty path attaches the
+	// recorder to the measured region (after warm-up): every pipeline
+	// stage then emits typed events and interval heartbeats. With all
+	// paths empty the recorder is never attached and the pipeline pays
+	// only an untaken nil-check branch per emit site.
+
+	// TracePath writes a Chrome trace_event JSON file (one slice per
+	// committed μop on its issue port's track, flush markers, counter
+	// tracks) viewable in chrome://tracing or Perfetto.
+	TracePath string
+	// EventsPath writes a JSONL event log: one JSON object per pipeline
+	// event (fetch, decode, rename, dispatch, wakeup, issue, writeback,
+	// commit, flush, squash, steering/sharing) plus interval rows.
+	EventsPath string
+	// MetricsPath writes a CSV with one row per heartbeat interval; the
+	// per-interval counter deltas sum exactly to the final statistics.
+	MetricsPath string
+	// ManifestPath writes the run manifest JSON. When empty but another
+	// observability path is set, the manifest is written alongside the
+	// first sink as "<path>.manifest.json". Result.Manifest is populated
+	// in-memory regardless.
+	ManifestPath string
+	// ObsInterval is the heartbeat period in cycles (0 = 10000).
+	ObsInterval uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +250,12 @@ type Result struct {
 	// InjectedFaults counts faults actually injected, by kind (nil unless
 	// Config.FaultSpec was set).
 	InjectedFaults map[string]uint64
+
+	// Manifest is the machine-readable run record (always populated):
+	// configuration, environment, wall time, final statistics, energy and
+	// scheduler counters, plus the metrics-registry dump when an
+	// observability sink was attached. `ballsim -json` prints it.
+	Manifest *obs.Manifest
 }
 
 // Architectures lists the evaluated microarchitectures.
@@ -263,6 +296,7 @@ func ExtraWorkloads() []string {
 // escapes (a recovered panic surfaces as a *SimError with Stage
 // "internal").
 func Run(cfg Config) (res *Result, err error) {
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	defer func() {
 		if r := recover(); r != nil {
@@ -340,6 +374,19 @@ func Run(cfg Config) (res *Result, err error) {
 		p.SetInjector(injector)
 	}
 
+	rec, sinkInfos, oerr := openRecorder(cfg)
+	if oerr != nil {
+		return nil, simErr("obs", oerr)
+	}
+	// Flush sinks on every failure path; the success path closes explicitly
+	// so write errors surface.
+	recClosed := false
+	defer func() {
+		if !recClosed {
+			rec.Close()
+		}
+	}()
+
 	measured := uint64(len(trace.Ops))
 	if cfg.WarmupOps > 0 && len(trace.Ops) > cfg.WarmupOps {
 		if err := p.Warmup(uint64(cfg.WarmupOps)); err != nil {
@@ -347,10 +394,14 @@ func Run(cfg Config) (res *Result, err error) {
 		}
 		measured = uint64(len(trace.Ops) - cfg.WarmupOps)
 	}
+	// Attach after warm-up: interval deltas then cover exactly the measured
+	// region and sum to the final statistics.
+	p.AttachObs(rec)
 	s, err := p.Run(measured)
 	if err != nil {
 		return nil, simErr("simulate", err)
 	}
+	rec.Finish(p.ObsSnapshot())
 	if replay != nil {
 		if rerr := replay.Err(); rerr != nil {
 			return nil, simErr("golden", rerr)
@@ -414,7 +465,126 @@ func Run(cfg Config) (res *Result, err error) {
 	for c := energy.Category(0); c < energy.NumCategories; c++ {
 		res.EnergyByComponent[c.String()] = eb.PJ[c]
 	}
+
+	rec.FinalizeSched(res.SchedCounters)
+	res.Manifest = buildManifest(cfg, res, rec, sinkInfos, s, time.Since(start).Seconds())
+	recClosed = true
+	if cerr := rec.Close(); cerr != nil {
+		return nil, simErr("obs", cerr)
+	}
+	mp := cfg.ManifestPath
+	if mp == "" && len(sinkInfos) > 0 {
+		mp = sinkInfos[0].Path + ".manifest.json"
+	}
+	if mp != "" {
+		if werr := res.Manifest.WriteFile(mp); werr != nil {
+			return nil, simErr("obs", werr)
+		}
+	}
 	return res, nil
+}
+
+// openRecorder builds the observability recorder and its sinks from the
+// configured paths. With no observability path set it returns a nil
+// recorder — the zero-cost off state.
+func openRecorder(cfg Config) (*obs.Recorder, []obs.SinkInfo, error) {
+	if cfg.TracePath == "" && cfg.EventsPath == "" && cfg.MetricsPath == "" && cfg.ManifestPath == "" {
+		return nil, nil, nil
+	}
+	var sinks []obs.Sink
+	var infos []obs.SinkInfo
+	fail := func(err error) (*obs.Recorder, []obs.SinkInfo, error) {
+		for _, s := range sinks {
+			s.Close()
+		}
+		return nil, nil, err
+	}
+	if cfg.TracePath != "" {
+		s, err := obs.NewChromeSink(cfg.TracePath)
+		if err != nil {
+			return fail(err)
+		}
+		sinks = append(sinks, s)
+		infos = append(infos, obs.SinkInfo{Kind: "chrome-trace", Path: cfg.TracePath})
+	}
+	if cfg.EventsPath != "" {
+		s, err := obs.NewJSONLSink(cfg.EventsPath)
+		if err != nil {
+			return fail(err)
+		}
+		sinks = append(sinks, s)
+		infos = append(infos, obs.SinkInfo{Kind: "events-jsonl", Path: cfg.EventsPath})
+	}
+	if cfg.MetricsPath != "" {
+		s, err := obs.NewCSVSink(cfg.MetricsPath)
+		if err != nil {
+			return fail(err)
+		}
+		sinks = append(sinks, s)
+		infos = append(infos, obs.SinkInfo{Kind: "metrics-csv", Path: cfg.MetricsPath})
+	}
+	// ManifestPath alone still creates a (sink-less) recorder so the metrics
+	// registry and interval count reach the manifest.
+	return obs.NewRecorder(cfg.ObsInterval, sinks...), infos, nil
+}
+
+// buildManifest assembles the machine-readable run record from the final
+// result. rec may be nil (no metrics dump then).
+func buildManifest(cfg Config, res *Result, rec *obs.Recorder, sinks []obs.SinkInfo, s *stats.Sim, wallSeconds float64) *obs.Manifest {
+	m := obs.NewManifest()
+	m.Sim = obs.SimInfo{
+		Arch:      cfg.Arch,
+		Workload:  cfg.Workload,
+		Width:     cfg.Width,
+		Ops:       cfg.MaxOps,
+		WarmupOps: cfg.WarmupOps,
+		NumPIQs:   cfg.NumPIQs,
+		PIQDepth:  cfg.PIQDepth,
+		MDP:       !cfg.DisableMDP,
+		DVFS:      cfg.DVFS,
+		FaultSpec: cfg.FaultSpec,
+	}
+	m.WallSeconds = wallSeconds
+	m.Stats = obs.RunStats{
+		Cycles:         s.Cycles,
+		Committed:      s.Committed,
+		Fetched:        s.Fetched,
+		Issued:         s.Issued,
+		IPC:            s.IPC(),
+		TimeSeconds:    res.TimeSeconds,
+		Branches:       s.Branches,
+		Mispredicts:    s.Mispredicts,
+		MispredictRate: s.MispredictRate(),
+		Violations:     s.Violations,
+		Flushes:        s.Flushes,
+		Squashed:       s.Squashed,
+		DispatchStalls: s.DispatchStall,
+		AvgOccupancy:   s.AvgOccupancy(),
+	}
+	m.Delay = make(map[string]obs.DelayInfo, len(res.Delay))
+	for name, d := range res.Delay {
+		m.Delay[name] = obs.DelayInfo{
+			Count:            d.Count,
+			DecodeToDispatch: d.DecodeToDispatch,
+			DispatchToReady:  d.DispatchToReady,
+			ReadyToIssue:     d.ReadyToIssue,
+			Total:            d.Total(),
+		}
+	}
+	m.Energy = obs.EnergyInfo{
+		TotalPJ:     res.EnergyPJ,
+		EDP:         res.EDP,
+		Efficiency:  res.Efficiency,
+		ByComponent: res.EnergyByComponent,
+	}
+	m.SchedCounters = res.SchedCounters
+	m.InjectedFaults = res.InjectedFaults
+	m.AuditChecks = res.AuditChecks
+	m.GoldenOps = res.GoldenOps
+	m.Metrics = rec.Registry().Dump()
+	m.Sinks = sinks
+	m.Intervals = rec.Intervals()
+	return m
 }
 
 func dvfsLevel(name string) (config.DVFSLevel, error) {

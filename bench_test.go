@@ -1,6 +1,7 @@
 package ballerino_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	ballerino "repro"
@@ -172,6 +173,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on a
+// full simulation: "off" is the baseline (nil recorder, one untaken branch
+// per emit site — the zero-cost-when-off claim, expected within noise of a
+// build without instrumentation), "sinks" streams every event to files in
+// a temporary directory.
+func BenchmarkObsOverhead(b *testing.B) {
+	const ops = 50_000
+	base := ballerino.Config{Arch: "Ballerino", Workload: "mixed", MaxOps: ops}
+
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ballerino.Run(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+	})
+	b.Run("sinks", func(b *testing.B) {
+		dir := b.TempDir()
+		cfg := base
+		cfg.TracePath = filepath.Join(dir, "bench.trace.json")
+		cfg.EventsPath = filepath.Join(dir, "bench.events.jsonl")
+		cfg.MetricsPath = filepath.Join(dir, "bench.metrics.csv")
+		for i := 0; i < b.N; i++ {
+			if _, err := ballerino.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+	})
 }
 
 // BenchmarkAblations regenerates the design-choice ablation study.

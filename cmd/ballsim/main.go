@@ -5,25 +5,38 @@
 //
 //	ballsim -arch Ballerino -workload stream -ops 200000
 //	ballsim -compare -ops 100000            # all architectures × kernels
+//	ballsim -trace run.trace.json -metrics run.csv   # observability sinks
+//	ballsim -json                            # machine-readable manifest
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"text/tabwriter"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		arch    = flag.String("arch", "Ballerino", "microarchitecture (see -list)")
 		wl      = flag.String("workload", "stream", "workload kernel (see -list)")
 		width   = flag.Int("width", 8, "issue width: 2, 4, 8 or 10")
 		ops     = flag.Int("ops", 200_000, "dynamic μops to simulate")
+		warmup  = flag.Int("warmup", 0, "warm-up μops before the measured region")
 		foot    = flag.Int64("footprint", 0, "data footprint in bytes (0 = default 8 MiB)")
 		piqs    = flag.Int("piqs", 0, "override P-IQ count (0 = Table II)")
 		depth   = flag.Int("piq-depth", 0, "override P-IQ depth (0 = Table II)")
@@ -34,6 +47,17 @@ func main() {
 		list    = flag.Bool("list", false, "list architectures and workloads")
 		compare = flag.Bool("compare", false, "run every architecture on every kernel")
 		verbose = flag.Bool("v", false, "print scheduler counters and energy breakdown")
+
+		trace    = flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+		events   = flag.String("events", "", "write a JSONL pipeline event log")
+		metrics  = flag.String("metrics", "", "write a CSV of per-interval counter deltas")
+		interval = flag.Uint64("interval", 0, "heartbeat interval in cycles (0 = 10000)")
+		manifest = flag.String("manifest", "", "write the run manifest JSON (default: alongside the first sink)")
+		jsonOut  = flag.Bool("json", false, "print the run manifest as JSON instead of text")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -46,12 +70,48 @@ func main() {
 		for _, w := range ballerino.Workloads() {
 			fmt.Printf("  %s\n", w)
 		}
-		return
+		return 0
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	if *compare {
-		runCompare(*width, *ops, *foot)
-		return
+		return runCompare(*width, *ops, *foot, *jsonOut)
 	}
 
 	res, err := ballerino.Run(ballerino.Config{
@@ -60,12 +120,18 @@ func main() {
 		Workload:       *wl,
 		FootprintBytes: *foot,
 		MaxOps:         *ops,
+		WarmupOps:      *warmup,
 		NumPIQs:        *piqs,
 		PIQDepth:       *depth,
 		DisableMDP:     *noMDP,
 		DVFS:           *dvfs,
 		Audit:          *audit,
 		FaultSpec:      *inject,
+		TracePath:      *trace,
+		EventsPath:     *events,
+		MetricsPath:    *metrics,
+		ManifestPath:   *manifest,
+		ObsInterval:    *interval,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -73,7 +139,16 @@ func main() {
 		if errors.As(err, &se) && se.Autopsy != "" {
 			fmt.Fprintln(os.Stderr, se.Autopsy)
 		}
-		os.Exit(1)
+		return 1
+	}
+	if *jsonOut {
+		b, err := res.Manifest.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(string(b))
+		return 0
 	}
 	fmt.Printf("%s on %s (%d-wide, %d μops)\n", res.Arch, res.Workload, res.Width, res.Committed)
 	fmt.Printf("  cycles      %d\n", res.Cycles)
@@ -96,6 +171,11 @@ func main() {
 		fmt.Printf("  delay %-4s  d2d=%.1f d2r=%.1f r2i=%.1f (n=%d)\n",
 			cls, d.DecodeToDispatch, d.DispatchToReady, d.ReadyToIssue, d.Count)
 	}
+	if sinks := res.Manifest.Sinks; len(sinks) > 0 {
+		for _, s := range sinks {
+			fmt.Printf("  wrote       %s (%s)\n", s.Path, s.Kind)
+		}
+	}
 	if *verbose {
 		fmt.Println("  scheduler counters:")
 		var keys []string
@@ -116,11 +196,37 @@ func main() {
 			fmt.Printf("    %-14s %.3g\n", k, res.EnergyByComponent[k])
 		}
 	}
+	return 0
 }
 
-func runCompare(width, ops int, foot int64) {
+func runCompare(width, ops int, foot int64, jsonOut bool) int {
 	archs := ballerino.Architectures()
 	wls := ballerino.Workloads()
+
+	if jsonOut {
+		var manifests []*obs.Manifest
+		for _, a := range archs {
+			for _, w := range wls {
+				res, err := ballerino.Run(ballerino.Config{
+					Arch: a, Width: width, Workload: w,
+					FootprintBytes: foot, MaxOps: ops,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					continue
+				}
+				manifests = append(manifests, res.Manifest)
+			}
+		}
+		b, err := json.MarshalIndent(manifests, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(string(b))
+		return 0
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "arch")
 	for _, w := range wls {
@@ -154,4 +260,5 @@ func runCompare(width, ops int, foot int64) {
 		fmt.Fprintf(tw, "\t%.2f\n", ballerino.GeoMean(ipcs))
 		tw.Flush()
 	}
+	return 0
 }

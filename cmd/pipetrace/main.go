@@ -6,20 +6,23 @@
 //
 // Legend: D decoded, q waiting dispatch, s in scheduler, r ready, X issue,
 // e executing, C complete.
+//
+// The window is assembled from the internal/obs event bus (an in-memory
+// sink over decode/dispatch/issue/exec/commit events), so the rendering
+// consumes exactly what external trace files contain.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
-	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -55,113 +58,68 @@ func main() {
 		fail(err)
 	}
 
-	var window []*sched.UOp
-	p.OnCommit = func(u *sched.UOp) {
-		if u.Seq() >= *from && u.Seq() < *from+*n {
-			window = append(window, u)
-		}
-	}
+	mem := &obs.MemorySink{}
+	p.AttachObs(obs.NewRecorder(0, mem))
 	if _, err := p.Run(uint64(len(tr.Ops))); err != nil {
 		fail(err)
 	}
+	window := trace.Assemble(mem.Events, *from, *from+*n)
 	if len(window) == 0 {
 		fail(fmt.Errorf("no μops in [%d, %d) — trace too short?", *from, *from+*n))
 	}
 
 	// Origin: the earliest dispatch in the window. The (often long)
 	// decode→dispatch backpressure is shown numerically instead of drawn.
-	base := window[0].DispatchCycle
+	base := window[0].Dispatch
 	for _, u := range window {
-		if u.DispatchCycle < base {
-			base = u.DispatchCycle
+		if u.Dispatch < base {
+			base = u.Dispatch
 		}
 	}
 	fmt.Printf("%s on %q — μops %d..%d (cycle origin %d)\n\n",
-		*arch, *wl, *from, window[len(window)-1].Seq(), base)
+		*arch, *wl, *from, window[len(window)-1].Seq, base)
 	fmt.Printf("%6s %-26s %5s  %s\n", "seq", "μop", "d2d", "dispatch → complete")
 	for _, u := range window {
-		op := u.D.String()
+		op := u.Label
 		if i := strings.Index(op, " "); i >= 0 {
 			op = op[i+1:]
 		}
-		fmt.Printf("%6d %-26s %5d  %s\n", u.Seq(), op, u.DispatchCycle-u.DecodeCycle, lane(u, base))
+		fmt.Printf("%6d %-26s %5d  %s\n", u.Seq, op, u.Dispatch-u.Decode, lane(u, base))
 	}
 	fmt.Println("\nlegend (per cycle from dispatch): s waiting in scheduler · r ready, not granted · X issue · e executing · C complete")
 	fmt.Println("d2d = decode→dispatch backpressure cycles (not drawn)")
 
 	if *kanata != "" {
-		if err := writeKanata(*kanata, window); err != nil {
+		f, err := os.Create(*kanata)
+		if err != nil {
+			fail(err)
+		}
+		err = trace.WriteKanata(f, window)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("\nKanata log written to %s (open with the Konata viewer)\n", *kanata)
 	}
 }
 
-// writeKanata emits the window as a Kanata 0004 log: one lane per μop with
-// Dc (decode/backpressure), Sc (scheduler), Is (issue/execute) stages.
-func writeKanata(path string, window []*sched.UOp) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
-	type event struct {
-		cycle uint64
-		line  string
-	}
-	var events []event
-	add := func(cycle uint64, format string, args ...any) {
-		events = append(events, event{cycle, fmt.Sprintf(format, args...)})
-	}
-	for i, u := range window {
-		id := i
-		fetch := u.DecodeCycle - 2
-		add(fetch, "I\t%d\t%d\t0", id, u.Seq())
-		add(fetch, "L\t%d\t0\t%d: %s", id, u.Seq(), u.D.String())
-		add(fetch, "S\t%d\t0\tDc", id)
-		add(u.DispatchCycle, "E\t%d\t0\tDc", id)
-		add(u.DispatchCycle, "S\t%d\t0\tSc", id)
-		add(u.IssueCycle, "E\t%d\t0\tSc", id)
-		add(u.IssueCycle, "S\t%d\t0\tIs", id)
-		add(u.CompleteCycle, "E\t%d\t0\tIs", id)
-		add(u.CompleteCycle, "R\t%d\t%d\t0", id, u.Seq())
-	}
-	sort.SliceStable(events, func(a, b int) bool { return events[a].cycle < events[b].cycle })
-
-	w := bufio.NewWriter(f)
-	defer w.Flush()
-	fmt.Fprintf(w, "Kanata\t0004\n")
-	if len(events) == 0 {
-		return nil
-	}
-	fmt.Fprintf(w, "C=\t%d\n", events[0].cycle)
-	cur := events[0].cycle
-	for _, e := range events {
-		if e.cycle > cur {
-			fmt.Fprintf(w, "C\t%d\n", e.cycle-cur)
-			cur = e.cycle
-		}
-		fmt.Fprintln(w, e.line)
-	}
-	return nil
-}
-
 // lane renders one μop's post-dispatch lifetime as a character row.
-func lane(u *sched.UOp, base uint64) string {
+func lane(u trace.UOp, base uint64) string {
 	rel := func(c uint64) int {
 		if c < base {
 			return 0
 		}
 		return int(c - base)
 	}
-	dispatch := rel(u.DispatchCycle)
-	ready := rel(u.ReadyCycle)
+	dispatch := rel(u.Dispatch)
+	ready := rel(u.Ready)
 	if ready < dispatch {
 		ready = dispatch
 	}
-	issue := rel(u.IssueCycle)
-	complete := rel(u.CompleteCycle)
+	issue := rel(u.Issue)
+	complete := rel(u.Complete)
 
 	const maxLane = 140
 	drawTo := complete

@@ -2,13 +2,19 @@
 // CSV row per simulation — the raw-data exporter for downstream plotting.
 //
 //	sweep -archs InO,OoO,Ballerino -widths 4,8 -ops 100000 > results.csv
+//	sweep -trace traces/ -metrics metrics/    # per-run observability artifacts
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -16,14 +22,71 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		archs  = flag.String("archs", strings.Join(ballerino.Architectures(), ","), "architectures")
 		widths = flag.String("widths", "8", "issue widths")
 		wls    = flag.String("workloads", strings.Join(ballerino.Workloads(), ","), "workload kernels")
 		ops    = flag.Int("ops", 100_000, "μops per simulation")
 		warm   = flag.Int("warmup", 0, "warm-up μops before measurement")
+
+		traceDir   = flag.String("trace", "", "directory for per-run Chrome trace_event JSON files")
+		metricsDir = flag.String("metrics", "", "directory for per-run interval-metrics CSV files")
+		interval   = flag.Uint64("interval", 0, "heartbeat interval in cycles (0 = 10000)")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	for _, dir := range []string{*traceDir, *metricsDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -36,18 +99,29 @@ func main() {
 		for _, ws := range strings.Split(*widths, ",") {
 			width, err := strconv.Atoi(strings.TrimSpace(ws))
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(os.Stderr, err)
+				return 1
 			}
 			for _, wl := range strings.Split(*wls, ",") {
-				res, err := ballerino.Run(ballerino.Config{
-					Arch:      strings.TrimSpace(arch),
-					Width:     width,
-					Workload:  strings.TrimSpace(wl),
-					MaxOps:    *ops,
-					WarmupOps: *warm,
-				})
+				cfg := ballerino.Config{
+					Arch:        strings.TrimSpace(arch),
+					Width:       width,
+					Workload:    strings.TrimSpace(wl),
+					MaxOps:      *ops,
+					WarmupOps:   *warm,
+					ObsInterval: *interval,
+				}
+				stem := fmt.Sprintf("%s-w%d-%s", cfg.Arch, cfg.Width, cfg.Workload)
+				if *traceDir != "" {
+					cfg.TracePath = filepath.Join(*traceDir, stem+".trace.json")
+				}
+				if *metricsDir != "" {
+					cfg.MetricsPath = filepath.Join(*metricsDir, stem+".csv")
+				}
+				res, err := ballerino.Run(cfg)
 				if err != nil {
-					fatal(err)
+					fmt.Fprintln(os.Stderr, err)
+					return 1
 				}
 				w.Write([]string{
 					res.Arch,
@@ -66,9 +140,5 @@ func main() {
 			}
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return 0
 }

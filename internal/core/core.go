@@ -95,6 +95,10 @@ type Ballerino struct {
 	events sched.EnergyEvents
 	ports  sched.PortMask
 
+	// probe, when non-nil, reports steering/sharing events to the
+	// observability layer.
+	probe sched.Probe
+
 	// Counters for Figures 6a, 13, 14.
 	issuedSIQ   uint64
 	issuedPIQ   uint64
@@ -144,6 +148,9 @@ func (b *Ballerino) Name() string {
 func (b *Ballerino) Capacity() int {
 	return b.cfg.SIQSize + b.cfg.NumPIQs*b.cfg.PIQDepth
 }
+
+// SetProbe implements sched.Probed.
+func (b *Ballerino) SetProbe(p sched.Probe) { b.probe = p }
 
 // Occupancy implements sched.Scheduler.
 func (b *Ballerino) Occupancy() int {
@@ -220,7 +227,11 @@ func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *s
 			b.headIssue++
 			issuedAny = true
 		}
+		wasSharing := q.sharing
 		q.endCyclePolicy(issuedAny, b.cfg.Options.AlwaysSwitchHead)
+		if b.probe != nil && wasSharing && !q.sharing {
+			b.probe(sched.ProbePIQMerge, cycle, 0, i)
+		}
 	}
 }
 
@@ -250,7 +261,10 @@ func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sche
 		}
 		// Not ready (or §IV-C case 3: ready but its port is taken):
 		// steer to the P-IQs; a failure blocks the window here.
-		if b.steer(u) {
+		if b.steer(u, cycle) {
+			if b.probe != nil {
+				b.probe(sched.ProbeSIQPromote, cycle, u.Seq(), 0)
+			}
 			removed++
 			continue
 		}
@@ -265,19 +279,26 @@ func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sche
 // steer places u into a P-IQ following M-dependences, then R-dependences,
 // then allocating an empty queue, then (Step 3) activating sharing mode.
 // It reports false when every option is exhausted — the steering stall.
-func (b *Ballerino) steer(u *sched.UOp) bool {
+func (b *Ballerino) steer(u *sched.UOp, cycle uint64) bool {
 	b.events.SteerOps++
 
 	// 1) M-dependence-aware steering: follow the producer store (§III-B).
-	if b.cfg.Options.MDASteering && u.D.Op.IsMem() && u.SSID >= 0 {
+	mdaCandidate := b.cfg.Options.MDASteering && u.D.Op.IsMem() && u.SSID >= 0
+	if mdaCandidate {
 		if code, reserved, ok := b.mdp.ProducerLocation(u.SSID); ok && !reserved {
 			iq, part := locIQ(code), locPartition(code)
 			if iq < len(b.piqs) && b.piqs[iq].canAppend(part) {
 				b.mdp.ReserveProducer(u.SSID)
 				b.enqueue(iq, part, u)
 				b.steerM++
+				if b.probe != nil {
+					b.probe(sched.ProbeSteerMDAHit, cycle, u.Seq(), iq)
+				}
 				return true
 			}
+		}
+		if b.probe != nil {
+			b.probe(sched.ProbeSteerMDAMiss, cycle, u.Seq(), 0)
 		}
 	}
 
@@ -292,6 +313,9 @@ func (b *Ballerino) steer(u *sched.UOp) bool {
 			b.rn.ReserveProducer(src)
 			b.enqueue(iq, part, u)
 			b.steerDC++
+			if b.probe != nil {
+				b.probe(sched.ProbeSteerDep, cycle, u.Seq(), iq)
+			}
 			return true
 		}
 	}
@@ -301,6 +325,9 @@ func (b *Ballerino) steer(u *sched.UOp) bool {
 		if b.piqs[i].len() == 0 {
 			b.enqueue(i, 0, u)
 			b.allocEmpty++
+			if b.probe != nil {
+				b.probe(sched.ProbeSteerNewChain, cycle, u.Seq(), i)
+			}
 			return true
 		}
 	}
@@ -315,10 +342,17 @@ func (b *Ballerino) steer(u *sched.UOp) bool {
 			if !b.cfg.Options.IdealSharing && b.piqs[i].lastIssued {
 				continue
 			}
+			wasSharing := b.piqs[i].sharing
 			if part, ok := b.piqs[i].activateSharing(b.cfg.Options.IdealSharing); ok {
 				b.shareActs++
 				b.enqueue(i, part, u)
 				b.allocShared++
+				if b.probe != nil {
+					if !wasSharing {
+						b.probe(sched.ProbePIQSplit, cycle, u.Seq(), i)
+					}
+					b.probe(sched.ProbePIQShare, cycle, u.Seq(), i)
+				}
 				return true
 			}
 		}
@@ -406,3 +440,4 @@ func (b *Ballerino) Counters() map[string]uint64 {
 }
 
 var _ sched.Scheduler = (*Ballerino)(nil)
+var _ sched.Probed = (*Ballerino)(nil)

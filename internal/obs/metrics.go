@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	Name string
+	v    uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Histogram is a fixed-bucket histogram over uint64 samples. Bounds are
+// inclusive upper bounds in ascending order; one overflow bucket catches
+// everything above the last bound. Buckets are fixed at construction —
+// observation is a binary search plus three additions, no allocation.
+type Histogram struct {
+	Name   string
+	Bounds []uint64 // ascending inclusive upper bounds (len B)
+	Counts []uint64 // len B+1; Counts[B] is the overflow bucket
+
+	N   uint64 // samples observed
+	Sum uint64 // sum of samples
+	Max uint64 // largest sample
+}
+
+// NewHistogram builds a histogram with the given inclusive upper bounds.
+// Bounds must be ascending and non-empty; the constructor panics otherwise
+// (metric construction is programmer-controlled, not input-controlled).
+func NewHistogram(name string, bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	return &Histogram{
+		Name:   name,
+		Bounds: append([]uint64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.Counts[i]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1): the bound
+// of the bucket the quantile falls into, or Max for the overflow bucket.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.N))
+	if target >= h.N {
+		target = h.N - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// Registry holds named counters and histograms. It is not safe for
+// concurrent use: the simulator is single-threaded by construction.
+type Registry struct {
+	counters map[string]*Counter
+	corder   []string
+	hists    map[string]*Histogram
+	horder   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	r.counters[name] = c
+	r.corder = append(r.corder, name)
+	return c
+}
+
+// NewHistogram registers a fixed-bucket histogram. Registering the same
+// name twice returns the existing histogram (bounds of the first win).
+func (r *Registry) NewHistogram(name string, bounds []uint64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(name, bounds)
+	r.hists[name] = h
+	r.horder = append(r.horder, name)
+	return h
+}
+
+// Histogram returns the named histogram, or nil.
+func (r *Registry) Histogram(name string) *Histogram { return r.hists[name] }
+
+// HistogramDump is a histogram's serialisable state.
+type HistogramDump struct {
+	Name   string   `json:"name"`
+	Bounds []uint64 `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+	N      uint64   `json:"n"`
+	Sum    uint64   `json:"sum"`
+	Max    uint64   `json:"max"`
+	Mean   float64  `json:"mean"`
+	P50    uint64   `json:"p50"`
+	P99    uint64   `json:"p99"`
+}
+
+// MetricsDump is the registry's serialisable state, embedded in the run
+// manifest.
+type MetricsDump struct {
+	Counters   map[string]uint64 `json:"counters"`
+	Histograms []HistogramDump   `json:"histograms"`
+}
+
+// Dump snapshots the registry (nil-safe: returns nil).
+func (r *Registry) Dump() *MetricsDump {
+	if r == nil {
+		return nil
+	}
+	d := &MetricsDump{Counters: make(map[string]uint64, len(r.counters))}
+	for name, c := range r.counters {
+		d.Counters[name] = c.Value()
+	}
+	for _, name := range r.horder {
+		h := r.hists[name]
+		d.Histograms = append(d.Histograms, HistogramDump{
+			Name:   h.Name,
+			Bounds: h.Bounds,
+			Counts: h.Counts,
+			N:      h.N,
+			Sum:    h.Sum,
+			Max:    h.Max,
+			Mean:   h.Mean(),
+			P50:    h.Quantile(0.50),
+			P99:    h.Quantile(0.99),
+		})
+	}
+	return d
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/lsq"
 	"repro/internal/mdp"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/rename"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -175,6 +176,11 @@ type Pipeline struct {
 	// inj, when non-nil, perturbs the machine with timing-only faults.
 	inj Injector
 
+	// obs, when non-nil, receives typed events from every stage plus
+	// periodic heartbeat snapshots. A nil recorder costs one untaken
+	// branch per emit site — the zero-cost-when-off contract.
+	obs *obs.Recorder
+
 	stats stats.Sim
 
 	// OnCommit, when non-nil, observes every committed μop in commit
@@ -296,6 +302,46 @@ func (p *Pipeline) EnableAudit() *check.Auditor {
 // SetInjector attaches a fault injector (nil detaches).
 func (p *Pipeline) SetInjector(inj Injector) { p.inj = inj }
 
+// AttachObs attaches an observability recorder (nil detaches): every stage
+// emits typed events, a heartbeat snapshot is taken each recorder
+// interval, and — when the scheduler implements sched.Probed — its
+// internal steering/sharing events are bridged onto the bus.
+func (p *Pipeline) AttachObs(r *obs.Recorder) {
+	p.obs = r
+	r.Start(p.ObsSnapshot())
+	pr, ok := p.sched.(sched.Probed)
+	if !ok {
+		return
+	}
+	if r == nil {
+		pr.SetProbe(nil)
+		return
+	}
+	pr.SetProbe(func(kind sched.ProbeKind, cycle, seq uint64, arg int) {
+		r.Emit(obs.Event{Kind: obs.FromProbe(kind), Cycle: cycle, Seq: seq, Arg: uint64(arg)})
+	})
+}
+
+// ObsSnapshot samples the cumulative counters and queue levels for an
+// observability heartbeat.
+func (p *Pipeline) ObsSnapshot() obs.Snapshot {
+	nl, ns := p.lsq.Counts()
+	return obs.Snapshot{
+		Cycle:          p.cycle,
+		Committed:      p.stats.Committed,
+		Fetched:        p.stats.Fetched,
+		Issued:         p.stats.Issued,
+		Flushes:        p.stats.Flushes,
+		Squashed:       p.stats.Squashed,
+		DispatchStalls: p.stats.DispatchStall,
+		Violations:     p.stats.Violations,
+		Mispredicts:    p.stats.Mispredicts,
+		SchedOccupancy: p.sched.Occupancy(),
+		LQ:             nl,
+		SQ:             ns,
+	}
+}
+
 // DebugState renders a snapshot of the pipeline's head state, used when
 // diagnosing stalls.
 func (p *Pipeline) DebugState() string {
@@ -378,6 +424,9 @@ func (p *Pipeline) step() {
 	p.dispatch()
 	p.fetch()
 	p.stats.OccupancySum += uint64(p.sched.Occupancy())
+	if p.obs != nil && p.obs.HeartbeatDue(p.cycle) {
+		p.obs.Heartbeat(p.ObsSnapshot())
+	}
 	if p.audit != nil && p.auditErr == nil {
 		if err := p.audit.Check(p); err != nil {
 			err.(*check.ViolationError).Autopsy = check.Collect(p)
@@ -420,6 +469,9 @@ func (p *Pipeline) commit() {
 		p.totCommitted++
 		p.lastCommitCycle = p.cycle
 		p.stats.Record(e.u)
+		if p.obs != nil {
+			p.obs.ObserveCommit(e.u, p.cycle)
+		}
 		if p.audit != nil && p.auditErr == nil {
 			if err := p.audit.ObserveCommit(e.u); err != nil {
 				ve := err.(*check.ViolationError)
@@ -447,6 +499,14 @@ func (p *Pipeline) processCompletions() {
 			continue
 		}
 		p.sched.Complete(u.Dst, p.cycle)
+		if p.obs != nil {
+			p.obs.Emit(obs.Event{Kind: obs.KindWriteback, Cycle: p.cycle, Seq: u.Seq(),
+				PC: uint64(u.D.PC), Op: u.D.Op, Cls: u.Cls, Port: int16(u.Port)})
+			if u.Dst != rename.PhysNone {
+				p.obs.Emit(obs.Event{Kind: obs.KindWakeup, Cycle: p.cycle, Seq: u.Seq(),
+					Arg: uint64(u.Dst)})
+			}
+		}
 		switch {
 		case u.D.IsStore():
 			// The store's address is now resolved: detect younger loads
@@ -483,6 +543,9 @@ func (p *Pipeline) checkViolation(st *sched.UOp) {
 // flushFrom squashes every μop with seq ≥ bound and redirects fetch to it.
 func (p *Pipeline) flushFrom(bound uint64) {
 	p.stats.Flushes++
+	if p.obs != nil {
+		p.obs.Emit(obs.Event{Kind: obs.KindFlush, Cycle: p.cycle, Seq: bound})
+	}
 
 	// RAT restoration must unwind renames in reverse rename order. The
 	// decode queue holds only μops younger than everything in the ROB, so
@@ -525,6 +588,10 @@ func (p *Pipeline) squash(u *sched.UOp, rec rename.Entry) {
 	u.Squashed = true
 	p.totSquashed++
 	p.stats.Squashed++
+	if p.obs != nil {
+		p.obs.Emit(obs.Event{Kind: obs.KindSquash, Cycle: p.cycle, Seq: u.Seq(),
+			PC: uint64(u.D.PC), Op: u.D.Op})
+	}
 	p.rn.Squash(rec)
 	if !u.Issued {
 		p.portInflight[u.Port]--
@@ -616,6 +683,13 @@ func (p *Pipeline) grant(u *sched.UOp) {
 		p.rn.SetReadyAt(u.Dst, done)
 	}
 	p.completions[done] = append(p.completions[done], u)
+
+	if p.obs != nil {
+		p.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: p.cycle, Seq: u.Seq(),
+			PC: uint64(u.D.PC), Op: u.D.Op, Cls: u.Cls, Port: int16(u.Port), Arg: u.ReadyCycle})
+		p.obs.Emit(obs.Event{Kind: obs.KindExec, Cycle: p.cycle, Seq: u.Seq(),
+			PC: uint64(u.D.PC), Op: u.D.Op, Cls: u.Cls, Port: int16(u.Port), Arg: done})
+	}
 }
 
 // readyCycleOf reconstructs when u's operands became available (for the
@@ -646,7 +720,7 @@ func (p *Pipeline) executeLoad(u *sched.UOp) uint64 {
 
 func (p *Pipeline) dispatch() {
 	if p.inj != nil && len(p.decodeQ) > 0 && p.inj.StallDispatch(p.cycle) {
-		p.stats.DispatchStall++
+		p.dispatchStall(p.decodeQ[0].u)
 		return
 	}
 	for n := 0; n < p.cfg.RenameWidth && len(p.decodeQ) > 0; n++ {
@@ -656,17 +730,17 @@ func (p *Pipeline) dispatch() {
 			return // still in the fetch/decode/rename pipeline
 		}
 		if len(p.rob) >= p.cfg.ROBSize || !p.lsq.CanAccept(u) {
-			p.stats.DispatchStall++
+			p.dispatchStall(u)
 			return
 		}
 		if !de.renamed {
 			if !p.renameOne(de) {
-				p.stats.DispatchStall++
+				p.dispatchStall(u)
 				return
 			}
 		}
 		if !p.sched.Dispatch(u, p.cycle) {
-			p.stats.DispatchStall++
+			p.dispatchStall(u)
 			return
 		}
 		// Accepted: enter ROB and LSQ.
@@ -675,6 +749,20 @@ func (p *Pipeline) dispatch() {
 		p.rob = append(p.rob, robEntry{u: u, rec: de.rec})
 		p.lsq.Insert(u)
 		p.decodeQ = p.decodeQ[1:]
+		if p.obs != nil {
+			p.obs.Emit(obs.Event{Kind: obs.KindDispatch, Cycle: p.cycle, Seq: u.Seq(),
+				PC: uint64(u.D.PC), Op: u.D.Op, Cls: u.Cls, Port: int16(u.Port)})
+		}
+	}
+}
+
+// dispatchStall counts (and, when observed, reports) a cycle in which the
+// head μop could not move through rename/dispatch.
+func (p *Pipeline) dispatchStall(u *sched.UOp) {
+	p.stats.DispatchStall++
+	if p.obs != nil {
+		p.obs.Emit(obs.Event{Kind: obs.KindStall, Cycle: p.cycle, Seq: u.Seq(),
+			PC: uint64(u.D.PC), Op: u.D.Op})
 	}
 }
 
@@ -741,6 +829,13 @@ func (p *Pipeline) renameOne(de *decodeEntry) bool {
 	// Issue-port arbitration (§II-A): least-loaded suitable port.
 	u.Port = p.cfg.Ports.Pick(u.D.Op, p.portInflight)
 	p.portInflight[u.Port]++
+
+	if p.obs != nil {
+		p.obs.Emit(obs.Event{Kind: obs.KindDecode, Cycle: u.DecodeCycle, Seq: u.Seq(),
+			PC: uint64(u.D.PC), Op: u.D.Op, Label: u.D.String()})
+		p.obs.Emit(obs.Event{Kind: obs.KindRename, Cycle: p.cycle, Seq: u.Seq(),
+			PC: uint64(u.D.PC), Op: u.D.Op, Cls: u.Cls, Port: int16(u.Port), Arg: uint64(u.Dst)})
+	}
 	return true
 }
 
@@ -773,6 +868,10 @@ func (p *Pipeline) fetch() {
 		p.totFetched++
 		p.decodeQ = append(p.decodeQ, &decodeEntry{u: u, visibleAt: p.cycle + p.cfg.FrontLatency})
 		p.fetchIdx++
+		if p.obs != nil {
+			p.obs.Emit(obs.Event{Kind: obs.KindFetch, Cycle: p.cycle, Seq: u.Seq(),
+				PC: uint64(d.PC), Op: d.Op})
+		}
 
 		if d.IsBranch() {
 			p.stats.Branches++

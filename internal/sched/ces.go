@@ -49,6 +49,10 @@ type CES struct {
 	events EnergyEvents
 	ports  PortMask
 
+	// probe, when non-nil, reports steering outcomes to the observability
+	// layer.
+	probe Probe
+
 	// Figure 4 counters: steering outcomes split by dispatch readiness.
 	steerDC       uint64
 	steerM        uint64
@@ -110,21 +114,34 @@ func readyAtDispatch(rn *rename.Renamer, u *UOp, cycle uint64) bool {
 	return rn.Ready(u.Src[0], cycle) && rn.Ready(u.Src[1], cycle)
 }
 
+// SetProbe implements Probed.
+func (s *CES) SetProbe(p Probe) { s.probe = p }
+
 // Dispatch implements Scheduler: steer along M/R-dependences, allocating a
 // new P-IQ for dependence heads, stalling when no queue is available.
 func (s *CES) Dispatch(u *UOp, cycle uint64) bool {
 	s.events.SteerOps++
 	s.events.PSCBReads += 2
 	ready := readyAtDispatch(s.rn, u, cycle)
+	mdaCandidate := s.mda && u.D.Op.IsMem() && u.SSID >= 0
 
 	if iq, ok := s.steerTarget(u); ok {
 		s.enqueue(iq, u)
-		if s.mda && u.D.Op.IsMem() && u.SSID >= 0 {
+		if mdaCandidate {
 			s.steerM++
+			if s.probe != nil {
+				s.probe(ProbeSteerMDAHit, cycle, u.Seq(), iq)
+			}
 		} else {
 			s.steerDC++
+			if s.probe != nil {
+				s.probe(ProbeSteerDep, cycle, u.Seq(), iq)
+			}
 		}
 		return true
+	}
+	if s.probe != nil && mdaCandidate {
+		s.probe(ProbeSteerMDAMiss, cycle, u.Seq(), 0)
 	}
 
 	// Dependence head (or split/full target): allocate an empty P-IQ.
@@ -135,6 +152,9 @@ func (s *CES) Dispatch(u *UOp, cycle uint64) bool {
 				s.allocReady++
 			} else {
 				s.allocNonReady++
+			}
+			if s.probe != nil {
+				s.probe(ProbeSteerNewChain, cycle, u.Seq(), i)
 			}
 			return true
 		}
@@ -261,3 +281,4 @@ func (s *CES) Counters() map[string]uint64 {
 }
 
 var _ Scheduler = (*CES)(nil)
+var _ Probed = (*CES)(nil)

@@ -165,6 +165,48 @@ type Inspector interface {
 	Queues() []QueueSnapshot
 }
 
+// ProbeKind identifies a scheduler-internal event reported through a
+// Probe: steering outcomes, P-IQ sharing-mode activity and S-IQ→P-IQ
+// promotions. The observability layer (internal/obs) maps these onto its
+// event bus.
+type ProbeKind uint8
+
+// Scheduler-internal probe events.
+const (
+	// ProbeSteerMDAHit: a memory μop was steered into its predicted
+	// producer store's P-IQ (arg = P-IQ index).
+	ProbeSteerMDAHit ProbeKind = iota
+	// ProbeSteerMDAMiss: an MDA steering candidate could not follow its
+	// producer (location unknown, reserved, or queue full).
+	ProbeSteerMDAMiss
+	// ProbeSteerDep: a μop was steered along an R-dependence (arg = P-IQ).
+	ProbeSteerDep
+	// ProbeSteerNewChain: a μop allocated an empty P-IQ as a new
+	// dependence-chain head (arg = P-IQ).
+	ProbeSteerNewChain
+	// ProbePIQSplit: a P-IQ entered sharing mode, splitting into two
+	// partitions (arg = P-IQ).
+	ProbePIQSplit
+	// ProbePIQShare: a μop was placed into a shared P-IQ partition
+	// (arg = P-IQ).
+	ProbePIQShare
+	// ProbePIQMerge: a shared P-IQ's partitions merged back into a single
+	// FIFO (arg = P-IQ).
+	ProbePIQMerge
+	// ProbeSIQPromote: a μop left the S-IQ into the P-IQ cluster.
+	ProbeSIQPromote
+)
+
+// Probe observes scheduler-internal events. Implementations must be cheap
+// — probes fire on scheduler hot paths. A nil Probe disables reporting.
+type Probe func(kind ProbeKind, cycle, seq uint64, arg int)
+
+// Probed is implemented by schedulers that can report internal events
+// through a Probe. SetProbe(nil) detaches.
+type Probed interface {
+	SetProbe(Probe)
+}
+
 // portMask tracks per-cycle issue-port grants without allocating. Ports
 // are bounded by the widest machine (16).
 type PortMask [16]bool

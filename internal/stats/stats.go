@@ -111,6 +111,7 @@ func (s *Sim) MispredictRate() float64 {
 
 // String summarises the run.
 func (s *Sim) String() string {
-	return fmt.Sprintf("cycles=%d committed=%d IPC=%.3f mispredict=%.2f%% violations=%d",
-		s.Cycles, s.Committed, s.IPC(), 100*s.MispredictRate(), s.Violations)
+	return fmt.Sprintf("cycles=%d committed=%d IPC=%.3f mispredict=%.2f%% violations=%d flushes=%d squashed=%d dispatch-stalls=%d",
+		s.Cycles, s.Committed, s.IPC(), 100*s.MispredictRate(), s.Violations,
+		s.Flushes, s.Squashed, s.DispatchStall)
 }

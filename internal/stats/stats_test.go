@@ -80,9 +80,13 @@ func TestIPCAndRates(t *testing.T) {
 }
 
 func TestStringContainsKeyFields(t *testing.T) {
-	s := Sim{Cycles: 10, Committed: 20, Violations: 3}
+	s := Sim{Cycles: 10, Committed: 20, Violations: 3,
+		Flushes: 4, Squashed: 17, DispatchStall: 9}
 	out := s.String()
-	for _, want := range []string{"cycles=10", "committed=20", "violations=3"} {
+	for _, want := range []string{
+		"cycles=10", "committed=20", "violations=3",
+		"flushes=4", "squashed=17", "dispatch-stalls=9",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("String() = %q missing %q", out, want)
 		}
@@ -94,5 +98,44 @@ func TestEmptyBreakdownAverages(t *testing.T) {
 	a, b, c := d.Avg()
 	if a != 0 || b != 0 || c != 0 || d.Total() != 0 {
 		t.Error("empty breakdown not zero")
+	}
+}
+
+func TestRecordReadyAfterIssueClamps(t *testing.T) {
+	var s Sim
+	// ReadyCycle after IssueCycle (speculative MDP-timeout issue): the
+	// ready→issue component must clamp to zero, not underflow.
+	s.Record(committedUOp(sched.ClassLdC, 0, 4, 9, 6))
+	d2d, d2r, r2i := s.Delay[sched.ClassLdC].Avg()
+	if d2d != 4 {
+		t.Errorf("decode→dispatch = %v, want 4", d2d)
+	}
+	if d2r != 5 {
+		t.Errorf("dispatch→ready = %v, want 5", d2r)
+	}
+	if r2i != 0 {
+		t.Errorf("ready→issue = %v, want 0 (issue before ready)", r2i)
+	}
+}
+
+func TestBreakdownTotalIsSumOfAverages(t *testing.T) {
+	d := DelayBreakdown{Count: 4, DecodeToDispatch: 8, DispatchToReady: 6, ReadyToIssue: 2}
+	if got := d.Total(); got != 4 {
+		t.Errorf("Total = %v, want 4", got)
+	}
+	a, b, c := d.Avg()
+	if a+b+c != d.Total() {
+		t.Errorf("Total %v != sum of averages %v", d.Total(), a+b+c)
+	}
+}
+
+func TestAvgOccupancy(t *testing.T) {
+	s := Sim{Cycles: 4, OccupancySum: 10}
+	if got := s.AvgOccupancy(); got != 2.5 {
+		t.Errorf("AvgOccupancy = %v", got)
+	}
+	var zero Sim
+	if zero.AvgOccupancy() != 0 {
+		t.Error("zero-cycle AvgOccupancy not 0")
 	}
 }

@@ -1,0 +1,126 @@
+// Package trace reconstructs per-μop pipeline lifetimes from the
+// internal/obs event stream and renders them as a Kanata/Konata log. It is
+// the shared backend of cmd/pipetrace and the trace regression tests.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// UOp is one committed μop's reconstructed stage timeline (cycles).
+type UOp struct {
+	Seq   uint64
+	Label string
+
+	Decode   uint64
+	Dispatch uint64
+	Ready    uint64
+	Issue    uint64
+	Complete uint64
+	Commit   uint64
+}
+
+// partial accumulates stage events for one in-flight sequence number until
+// commit (kept) or squash (dropped and rebuilt on refetch).
+type partial struct {
+	u                           UOp
+	decoded, dispatched, issued bool
+}
+
+// Assemble replays an obs event stream and returns the committed μops with
+// sequence numbers in [from, to), in commit order. Squashed attempts are
+// discarded; a refetched μop's timeline reflects its committed incarnation.
+func Assemble(events []obs.Event, from, to uint64) []UOp {
+	inflight := make(map[uint64]*partial)
+	var window []UOp
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case obs.KindDecode:
+			inflight[e.Seq] = &partial{
+				u:       UOp{Seq: e.Seq, Label: e.Label, Decode: e.Cycle},
+				decoded: true,
+			}
+		case obs.KindDispatch:
+			if p := inflight[e.Seq]; p != nil {
+				p.u.Dispatch, p.dispatched = e.Cycle, true
+			}
+		case obs.KindIssue:
+			if p := inflight[e.Seq]; p != nil {
+				p.u.Issue, p.u.Ready, p.issued = e.Cycle, e.Arg, true
+			}
+		case obs.KindExec:
+			if p := inflight[e.Seq]; p != nil {
+				p.u.Complete = e.Arg
+			}
+		case obs.KindSquash:
+			delete(inflight, e.Seq)
+		case obs.KindCommit:
+			p := inflight[e.Seq]
+			delete(inflight, e.Seq)
+			if p == nil || !p.decoded || !p.dispatched || !p.issued {
+				continue
+			}
+			p.u.Commit = e.Cycle
+			if p.u.Complete < p.u.Issue {
+				p.u.Complete = p.u.Issue
+			}
+			if e.Seq >= from && e.Seq < to {
+				window = append(window, p.u)
+			}
+		}
+	}
+	return window
+}
+
+// WriteKanata emits the window as a Kanata 0004 log: one lane per μop with
+// Dc (decode/backpressure), Sc (scheduler), Is (issue/execute) stages,
+// readable by the Konata pipeline viewer.
+func WriteKanata(out io.Writer, window []UOp) error {
+	type event struct {
+		cycle uint64
+		line  string
+	}
+	var events []event
+	add := func(cycle uint64, format string, args ...any) {
+		events = append(events, event{cycle, fmt.Sprintf(format, args...)})
+	}
+	for i, u := range window {
+		id := i
+		fetch := uint64(0)
+		if u.Decode >= 2 {
+			fetch = u.Decode - 2
+		}
+		add(fetch, "I\t%d\t%d\t0", id, u.Seq)
+		add(fetch, "L\t%d\t0\t%d: %s", id, u.Seq, u.Label)
+		add(fetch, "S\t%d\t0\tDc", id)
+		add(u.Dispatch, "E\t%d\t0\tDc", id)
+		add(u.Dispatch, "S\t%d\t0\tSc", id)
+		add(u.Issue, "E\t%d\t0\tSc", id)
+		add(u.Issue, "S\t%d\t0\tIs", id)
+		add(u.Complete, "E\t%d\t0\tIs", id)
+		add(u.Complete, "R\t%d\t%d\t0", id, u.Seq)
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].cycle < events[b].cycle })
+
+	w := bufio.NewWriter(out)
+	fmt.Fprintf(w, "Kanata\t0004\n")
+	if len(events) == 0 {
+		return w.Flush()
+	}
+	fmt.Fprintf(w, "C=\t%d\n", events[0].cycle)
+	cur := events[0].cycle
+	for _, e := range events {
+		if e.cycle > cur {
+			fmt.Fprintf(w, "C\t%d\n", e.cycle-cur)
+			cur = e.cycle
+		}
+		fmt.Fprintln(w, e.line)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,289 @@
+package ballerino_test
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	ballerino "repro"
+	"repro/internal/obs"
+)
+
+// runTraced runs one simulation with every observability sink attached and
+// returns the result plus the sink paths.
+func runTraced(t *testing.T, cfg ballerino.Config) (*ballerino.Result, string, string, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg.TracePath = filepath.Join(dir, "run.trace.json")
+	cfg.EventsPath = filepath.Join(dir, "run.events.jsonl")
+	cfg.MetricsPath = filepath.Join(dir, "run.metrics.csv")
+	cfg.ManifestPath = filepath.Join(dir, "run.manifest.json")
+	res, err := ballerino.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cfg.TracePath, cfg.EventsPath, cfg.MetricsPath, cfg.ManifestPath
+}
+
+// TestChromeTraceWellFormed validates the emitted Chrome trace: it parses
+// as trace_event JSON and every track's timestamps are monotonic.
+func TestChromeTraceWellFormed(t *testing.T) {
+	res, tracePath, _, _, _ := runTraced(t, ballerino.Config{
+		Arch: "Ballerino", Workload: "store-load", MaxOps: 15_000, WarmupOps: 2_000,
+		ObsInterval: 5_000,
+	})
+
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents     []obs.TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		t.Fatalf("trace is not trace_event JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	type track struct{ pid, tid int }
+	last := map[track]uint64{}
+	var slices int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "C":
+		default:
+			t.Fatalf("unexpected phase %q in %+v", e.Ph, e)
+		}
+		k := track{e.PID, e.TID}
+		if e.TS < last[k] {
+			t.Fatalf("track %v timestamps not monotonic: %d after %d", k, e.TS, last[k])
+		}
+		last[k] = e.TS
+		if e.Ph == "X" {
+			slices++
+			if e.Dur == 0 {
+				t.Errorf("zero-duration slice %+v", e)
+			}
+		}
+	}
+	if slices == 0 {
+		t.Fatal("no μop slices in trace")
+	}
+	if uint64(slices) > res.Committed {
+		t.Errorf("more slices (%d) than committed μops (%d)", slices, res.Committed)
+	}
+}
+
+// TestIntervalMetricsSumToFinalStats validates the heartbeat machinery: the
+// per-interval CSV deltas sum exactly to the final counters of the run
+// manifest, and the cycle ranges tile the measured region.
+func TestIntervalMetricsSumToFinalStats(t *testing.T) {
+	res, _, _, csvPath, _ := runTraced(t, ballerino.Config{
+		Arch: "Ballerino", Workload: "hash-join", MaxOps: 15_000, WarmupOps: 2_000,
+		ObsInterval: 3_000,
+	})
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("only %d CSV rows", len(rows))
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	sum := func(name string) uint64 {
+		var total uint64
+		for _, row := range rows[1:] {
+			v, err := strconv.ParseUint(row[col[name]], 10, 64)
+			if err != nil {
+				t.Fatalf("column %s: %v", name, err)
+			}
+			total += v
+		}
+		return total
+	}
+
+	st := res.Manifest.Stats
+	for name, want := range map[string]uint64{
+		"committed":       st.Committed,
+		"fetched":         st.Fetched,
+		"issued":          st.Issued,
+		"flushes":         st.Flushes,
+		"squashed":        st.Squashed,
+		"dispatch_stalls": st.DispatchStalls,
+		"violations":      st.Violations,
+		"mispredicts":     st.Mispredicts,
+		"cycles":          st.Cycles,
+	} {
+		if got := sum(name); got != want {
+			t.Errorf("sum(%s) = %d, want final %d", name, got, want)
+		}
+	}
+	// Intervals must tile the measured region: each row starts where the
+	// previous ended. The first row starts at the warm-up boundary.
+	prevEnd, _ := strconv.ParseUint(rows[1][col["start_cycle"]], 10, 64)
+	for i, row := range rows[1:] {
+		start, _ := strconv.ParseUint(row[col["start_cycle"]], 10, 64)
+		end, _ := strconv.ParseUint(row[col["end_cycle"]], 10, 64)
+		if start != prevEnd {
+			t.Errorf("row %d starts at %d, previous ended at %d", i, start, prevEnd)
+		}
+		if end <= start {
+			t.Errorf("row %d empty range [%d, %d]", i, start, end)
+		}
+		prevEnd = end
+	}
+	if res.Manifest.Intervals != len(rows)-1 {
+		t.Errorf("manifest intervals = %d, CSV rows = %d", res.Manifest.Intervals, len(rows)-1)
+	}
+}
+
+// TestJSONLEventsConsistent validates the JSONL sink: every line parses,
+// and the commit-event count equals the committed-μop counter.
+func TestJSONLEventsConsistent(t *testing.T) {
+	res, _, eventsPath, _, _ := runTraced(t, ballerino.Config{
+		Arch: "OoO", Workload: "stream", MaxOps: 10_000,
+	})
+
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts := map[string]uint64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		counts[line.Kind]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if counts["commit"] != res.Committed {
+		t.Errorf("commit events = %d, committed = %d", counts["commit"], res.Committed)
+	}
+	if counts["issue"] != res.Manifest.Stats.Issued {
+		t.Errorf("issue events = %d, issued = %d", counts["issue"], res.Manifest.Stats.Issued)
+	}
+	for _, kind := range []string{"fetch", "decode", "dispatch", "interval"} {
+		if counts[kind] == 0 {
+			t.Errorf("no %q events", kind)
+		}
+	}
+}
+
+// TestManifestWritten validates the run manifest: written to the requested
+// path, schema-tagged, and carrying the metrics registry dump.
+func TestManifestWritten(t *testing.T) {
+	res, _, _, _, manifestPath := runTraced(t, ballerino.Config{
+		Arch: "Ballerino", Workload: "stream", MaxOps: 10_000,
+	})
+
+	b, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("manifest is not JSON: %v", err)
+	}
+	if m.Schema != obs.ManifestSchema {
+		t.Errorf("schema = %q, want %q", m.Schema, obs.ManifestSchema)
+	}
+	if m.Stats.Committed != res.Committed || m.Stats.Cycles != res.Cycles {
+		t.Errorf("manifest stats %+v != result (%d committed, %d cycles)",
+			m.Stats, res.Committed, res.Cycles)
+	}
+	if m.Sim.Arch != "Ballerino" || m.Sim.Workload != "stream" {
+		t.Errorf("manifest sim = %+v", m.Sim)
+	}
+	if m.Metrics == nil || len(m.Metrics.Histograms) == 0 {
+		t.Error("manifest missing metrics dump")
+	}
+	var delayN uint64
+	for _, h := range m.Metrics.Histograms {
+		switch h.Name {
+		case "issue_delay.Ld", "issue_delay.LdC", "issue_delay.Rst":
+			delayN += h.N
+		}
+	}
+	if delayN != m.Stats.Committed {
+		t.Errorf("delay histogram samples = %d, committed = %d", delayN, m.Stats.Committed)
+	}
+	// Scheduler counters folded into the registry.
+	found := false
+	for name := range m.Metrics.Counters {
+		if len(name) > 6 && name[:6] == "sched." {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no sched.* counters in metrics dump: %v", m.Metrics.Counters)
+	}
+	// Sinks: chrome-trace, events-jsonl, metrics-csv + the manifest itself.
+	if len(m.Sinks) != 4 {
+		t.Errorf("manifest sinks = %+v", m.Sinks)
+	}
+}
+
+// TestManifestAlwaysPopulated: Result.Manifest is present even with no
+// observability path configured (no files written, no recorder attached).
+func TestManifestAlwaysPopulated(t *testing.T) {
+	res, err := ballerino.Run(ballerino.Config{Arch: "InO", Workload: "stream", MaxOps: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Manifest
+	if m == nil {
+		t.Fatal("nil manifest without sinks")
+	}
+	if m.Schema != obs.ManifestSchema || m.Stats.Committed != res.Committed {
+		t.Errorf("manifest = %+v", m)
+	}
+	if m.Metrics != nil {
+		t.Error("metrics dump present without a recorder")
+	}
+	if len(m.Sinks) != 0 {
+		t.Errorf("sinks = %+v, want none", m.Sinks)
+	}
+	if m.WallSeconds <= 0 {
+		t.Errorf("wall seconds = %v", m.WallSeconds)
+	}
+}
+
+// TestManifestDefaultPath: with a trace sink but no explicit manifest path,
+// the manifest lands alongside the first sink.
+func TestManifestDefaultPath(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	if _, err := ballerino.Run(ballerino.Config{
+		Arch: "Ballerino", Workload: "stream", MaxOps: 5_000, TracePath: tracePath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tracePath + ".manifest.json"); err != nil {
+		t.Errorf("default manifest path: %v", err)
+	}
+}

@@ -18,6 +18,7 @@
 package ballerino
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -102,6 +103,15 @@ type Config struct {
 	ManifestPath string
 	// ObsInterval is the heartbeat period in cycles (0 = 10000).
 	ObsInterval uint64
+	// Recorder, when non-nil, attaches a caller-built recorder instead of
+	// one constructed from the path fields above (which are then ignored).
+	// The caller owns its lifecycle: Run finishes the final interval and
+	// folds the metrics-registry dump into the manifest, but never closes
+	// it — close it yourself to flush its sinks. This is how a live
+	// consumer (internal/telemetry's SSE stream and Prometheus gauges)
+	// subscribes to heartbeats via Recorder.OnInterval before the run
+	// starts.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -295,7 +305,17 @@ func ExtraWorkloads() []string {
 // Run executes one simulation. Every failure is a *SimError; no panic
 // escapes (a recovered panic surfaces as a *SimError with Stage
 // "internal").
-func Run(cfg Config) (res *Result, err error) {
+func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// (or its deadline passes) the simulation stops within a few thousand
+// cycles and returns a *SimError with Stage "canceled" that unwraps to
+// context.Canceled / context.DeadlineExceeded. Attached sinks are flushed
+// before returning, so a cancelled traced run still leaves valid partial
+// artifacts on disk.
+func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	start := time.Now()
 	cfg = cfg.withDefaults()
 	defer func() {
@@ -309,8 +329,13 @@ func Run(cfg Config) (res *Result, err error) {
 		return nil, err
 	}
 	// simErr wraps a failure, pulling the cycle and the machine-state
-	// autopsy out of the typed pipeline errors when present.
+	// autopsy out of the typed pipeline errors when present. Cancellation
+	// overrides the stage so callers can tell an aborted run from a
+	// failed one without unwrapping.
 	simErr := func(stage string, cause error) *SimError {
+		if errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
+			stage = "canceled"
+		}
 		se := &SimError{Stage: stage, Arch: cfg.Arch, Workload: cfg.Workload, Err: cause}
 		var de *check.DeadlockError
 		var ve *check.ViolationError
@@ -352,7 +377,13 @@ func Run(cfg Config) (res *Result, err error) {
 		return nil, simErr("config", err)
 	}
 
-	trace := prog.MustExecute(program, cfg.MaxOps+cfg.WarmupOps)
+	// Trace generation dominates start-up for multi-million-μop jobs, so it
+	// honours ctx too: a served job cancelled while still generating aborts
+	// here instead of waiting out the interpreter.
+	trace, terr := prog.ExecuteContext(ctx, program, cfg.MaxOps+cfg.WarmupOps)
+	if terr != nil && !errors.Is(terr, prog.ErrFuel) {
+		return nil, simErr("trace", terr)
+	}
 	p, err := pipeline.New(m.Pipeline, trace.Ops, m.Factory)
 	if err != nil {
 		return nil, simErr("config", err)
@@ -374,13 +405,14 @@ func Run(cfg Config) (res *Result, err error) {
 		p.SetInjector(injector)
 	}
 
-	rec, sinkInfos, oerr := openRecorder(cfg)
+	rec, recOwned, sinkInfos, oerr := openRecorder(cfg)
 	if oerr != nil {
 		return nil, simErr("obs", oerr)
 	}
-	// Flush sinks on every failure path; the success path closes explicitly
-	// so write errors surface.
-	recClosed := false
+	// Flush sinks on every failure path (including cancellation, so partial
+	// trace/CSV artifacts stay valid); the success path closes explicitly so
+	// write errors surface. A caller-supplied recorder is never closed here.
+	recClosed := !recOwned
 	defer func() {
 		if !recClosed {
 			rec.Close()
@@ -389,7 +421,7 @@ func Run(cfg Config) (res *Result, err error) {
 
 	measured := uint64(len(trace.Ops))
 	if cfg.WarmupOps > 0 && len(trace.Ops) > cfg.WarmupOps {
-		if err := p.Warmup(uint64(cfg.WarmupOps)); err != nil {
+		if err := p.WarmupContext(ctx, uint64(cfg.WarmupOps)); err != nil {
 			return nil, simErr("simulate", fmt.Errorf("warmup: %w", err))
 		}
 		measured = uint64(len(trace.Ops) - cfg.WarmupOps)
@@ -397,8 +429,9 @@ func Run(cfg Config) (res *Result, err error) {
 	// Attach after warm-up: interval deltas then cover exactly the measured
 	// region and sum to the final statistics.
 	p.AttachObs(rec)
-	s, err := p.Run(measured)
+	s, err := p.RunContext(ctx, measured)
 	if err != nil {
+		rec.Finish(p.ObsSnapshot()) // close the partial interval before the flush
 		return nil, simErr("simulate", err)
 	}
 	rec.Finish(p.ObsSnapshot())
@@ -468,9 +501,11 @@ func Run(cfg Config) (res *Result, err error) {
 
 	rec.FinalizeSched(res.SchedCounters)
 	res.Manifest = buildManifest(cfg, res, rec, sinkInfos, s, time.Since(start).Seconds())
-	recClosed = true
-	if cerr := rec.Close(); cerr != nil {
-		return nil, simErr("obs", cerr)
+	if recOwned {
+		recClosed = true
+		if cerr := rec.Close(); cerr != nil {
+			return nil, simErr("obs", cerr)
+		}
 	}
 	mp := cfg.ManifestPath
 	if mp == "" && len(sinkInfos) > 0 {
@@ -485,19 +520,22 @@ func Run(cfg Config) (res *Result, err error) {
 }
 
 // openRecorder builds the observability recorder and its sinks from the
-// configured paths. With no observability path set it returns a nil
-// recorder — the zero-cost off state.
-func openRecorder(cfg Config) (*obs.Recorder, []obs.SinkInfo, error) {
+// configured paths, or hands back the caller-supplied recorder (owned
+// reports whether Run must close it). With no observability path set it
+// returns a nil recorder — the zero-cost off state.
+func openRecorder(cfg Config) (rec *obs.Recorder, owned bool, infos []obs.SinkInfo, err error) {
+	if cfg.Recorder != nil {
+		return cfg.Recorder, false, nil, nil
+	}
 	if cfg.TracePath == "" && cfg.EventsPath == "" && cfg.MetricsPath == "" && cfg.ManifestPath == "" {
-		return nil, nil, nil
+		return nil, true, nil, nil
 	}
 	var sinks []obs.Sink
-	var infos []obs.SinkInfo
-	fail := func(err error) (*obs.Recorder, []obs.SinkInfo, error) {
+	fail := func(err error) (*obs.Recorder, bool, []obs.SinkInfo, error) {
 		for _, s := range sinks {
 			s.Close()
 		}
-		return nil, nil, err
+		return nil, true, nil, err
 	}
 	if cfg.TracePath != "" {
 		s, err := obs.NewChromeSink(cfg.TracePath)
@@ -525,7 +563,7 @@ func openRecorder(cfg Config) (*obs.Recorder, []obs.SinkInfo, error) {
 	}
 	// ManifestPath alone still creates a (sink-less) recorder so the metrics
 	// registry and interval count reach the manifest.
-	return obs.NewRecorder(cfg.ObsInterval, sinks...), infos, nil
+	return obs.NewRecorder(cfg.ObsInterval, sinks...), true, infos, nil
 }
 
 // buildManifest assembles the machine-readable run record from the final

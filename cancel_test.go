@@ -1,0 +1,140 @@
+package ballerino_test
+
+import (
+	"context"
+	"encoding/csv"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ballerino "repro"
+	"repro/internal/obs"
+)
+
+// TestRunContextCancelFlushesSinks: a run cancelled mid-measurement (the
+// cancel fires deterministically from an interval hook, three heartbeats
+// in) returns a Stage "canceled" *SimError unwrapping to
+// context.Canceled, and the partial CSV sink — flushed by the recorder's
+// owner — is parseable, not truncated.
+func TestRunContextCancelFlushesSinks(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "partial.metrics.csv")
+	sink, err := obs.NewCSVSink(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(1_000, sink)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var beats int
+	rec.OnInterval(func(obs.Interval) {
+		if beats++; beats == 3 {
+			cancel()
+		}
+	})
+
+	_, err = ballerino.RunContext(ctx, ballerino.Config{
+		Arch: "Ballerino", Workload: "stream", MaxOps: 500_000,
+		Recorder: rec,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *ballerino.SimError
+	if !errors.As(err, &se) || se.Stage != "canceled" {
+		t.Fatalf("err = %+v, want *SimError with Stage \"canceled\"", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("flush after cancel: %v", err)
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatalf("partial CSV sink missing: %v", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("partial CSV is corrupt: %v", err)
+	}
+	// Header, the three full heartbeats, and the partial interval closed
+	// by Finish on the cancellation path.
+	if len(rows) < 4 {
+		t.Fatalf("partial CSV has %d rows, want header + ≥3 intervals", len(rows))
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(obs.CSVHeader) {
+			t.Errorf("interval row %d has %d columns, want %d", i, len(row), len(obs.CSVHeader))
+		}
+	}
+}
+
+// TestRunPreCancelledStillFlushesPathSinks: with path-configured sinks
+// (the ballsim shape), even a run cancelled before its first cycle leaves
+// a valid, closed CSV behind via Run's internal flush-on-failure.
+func TestRunPreCancelledStillFlushesPathSinks(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "run.metrics.csv")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ballerino.RunContext(ctx, ballerino.Config{
+		Arch: "Ballerino", Workload: "stream", MaxOps: 50_000,
+		MetricsPath: csvPath,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	b, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("CSV sink missing after pre-cancelled run: %v", err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(string(b))).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV corrupt after pre-cancelled run: %v", err)
+	}
+	if len(rows) == 0 || len(rows[0]) != len(obs.CSVHeader) {
+		t.Fatalf("CSV header missing or malformed: %v", rows)
+	}
+}
+
+// TestRunWithCallerRecorder: a Config.Recorder-supplied recorder is
+// attached but never closed by Run; its sinks and interval hooks observe
+// the run, and the manifest still carries the registry dump.
+func TestRunWithCallerRecorder(t *testing.T) {
+	mem := &obs.MemorySink{}
+	rec := obs.NewRecorder(2_000, mem)
+	var hooked int
+	rec.OnInterval(func(obs.Interval) { hooked++ })
+
+	res, err := ballerino.Run(ballerino.Config{
+		Arch: "Ballerino", Workload: "store-load", MaxOps: 20_000,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Intervals) == 0 || hooked != len(mem.Intervals) {
+		t.Fatalf("sink saw %d intervals, hook saw %d, want equal and > 0", len(mem.Intervals), hooked)
+	}
+	if res.Manifest.Metrics == nil {
+		t.Error("manifest missing the metrics dump with a caller recorder")
+	}
+	if res.Manifest.Intervals != len(mem.Intervals) {
+		t.Errorf("manifest intervals = %d, sink saw %d", res.Manifest.Intervals, len(mem.Intervals))
+	}
+	// Interval deltas must sum exactly to the final stats.
+	var committed uint64
+	for _, iv := range mem.Intervals {
+		committed += iv.Committed
+	}
+	if committed != res.Committed {
+		t.Errorf("interval committed sum = %d, final stats = %d", committed, res.Committed)
+	}
+	// The recorder is still open: closing it now must succeed (idempotent
+	// for the memory sink) — proving Run did not close a caller recorder.
+	if err := rec.Close(); err != nil {
+		t.Errorf("caller close failed: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+// Command ballserved is the long-running telemetry service: it executes
+// simulation jobs — submitted over HTTP or preloaded from a playlist file
+// — and serves their live observability.
+//
+// Usage:
+//
+//	ballserved -addr :8344
+//	ballserved -addr :8344 -playlist jobs.json -interval 5000
+//
+// Endpoints:
+//
+//	POST /jobs              submit a job ({"arch": ..., "workload": ..., "ops": ...})
+//	GET  /jobs, /jobs/{id}  job status (the latter includes the run manifest)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /metrics           Prometheus text exposition
+//	GET  /stream            Server-Sent Events heartbeat stream
+//	GET  /healthz, /readyz  liveness and readiness
+//	GET  /debug/pprof/      net/http/pprof
+//
+// The playlist file is a JSON array of job specs (a single object is also
+// accepted), enqueued in order at startup. SIGINT/SIGTERM trigger a
+// graceful shutdown: in-flight HTTP requests and the running job are given
+// -grace to finish, the running job's sinks are flushed, and queued jobs
+// are marked cancelled.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "localhost:8344", "HTTP listen address")
+		playlist = flag.String("playlist", "", "JSON file of job specs to enqueue at startup")
+		interval = flag.Uint64("interval", 0, "heartbeat interval in cycles (0 = 10000)")
+		queue    = flag.Int("queue", 0, "pending-job queue depth (0 = 64)")
+		grace    = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	var specs []telemetry.JobSpec
+	if *playlist != "" {
+		var err error
+		if specs, err = loadPlaylist(*playlist); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	srv := telemetry.NewServer(telemetry.Options{
+		HeartbeatCycles: *interval,
+		QueueDepth:      *queue,
+	})
+	srv.Start()
+	for i, spec := range specs {
+		job, err := srv.Submit(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "playlist entry %d: %v\n", i, err)
+			return 1
+		}
+		fmt.Printf("queued job %d: %s on %s\n", job.ID, spec.Workload, spec.Arch)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("ballserved listening on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Println("shutting down...")
+
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "job worker shutdown: %v\n", err)
+		code = 1
+	}
+	return code
+}
+
+// loadPlaylist reads a JSON array of job specs (or a single spec object).
+func loadPlaylist(path string) ([]telemetry.JobSpec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("playlist: %w", err)
+	}
+	var specs []telemetry.JobSpec
+	if err := strictUnmarshal(b, &specs); err != nil {
+		var one telemetry.JobSpec
+		if oneErr := strictUnmarshal(b, &one); oneErr != nil {
+			return nil, fmt.Errorf("playlist %s: %w", path, err)
+		}
+		specs = []telemetry.JobSpec{one}
+	}
+	return specs, nil
+}
+
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Trailing garbage after the JSON value is an error, not ignored.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}

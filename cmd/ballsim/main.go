@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -17,9 +18,11 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"syscall"
 	"text/tabwriter"
 
 	"repro"
@@ -110,11 +113,18 @@ func run() int {
 		}()
 	}
 
+	// SIGINT/SIGTERM cancel the simulation cooperatively: the pipeline
+	// stops within a few thousand cycles and Run flushes every attached
+	// sink, so an interrupted traced run still leaves valid partial
+	// artifacts. A second signal kills the process immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *compare {
-		return runCompare(*width, *ops, *foot, *jsonOut)
+		return runCompare(ctx, *width, *ops, *foot, *jsonOut)
 	}
 
-	res, err := ballerino.Run(ballerino.Config{
+	res, err := ballerino.RunContext(ctx, ballerino.Config{
 		Arch:           *arch,
 		Width:          *width,
 		Workload:       *wl,
@@ -138,6 +148,10 @@ func run() int {
 		var se *ballerino.SimError
 		if errors.As(err, &se) && se.Autopsy != "" {
 			fmt.Fprintln(os.Stderr, se.Autopsy)
+		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted: partial sinks were flushed and are valid")
+			return 130
 		}
 		return 1
 	}
@@ -199,7 +213,7 @@ func run() int {
 	return 0
 }
 
-func runCompare(width, ops int, foot int64, jsonOut bool) int {
+func runCompare(ctx context.Context, width, ops int, foot int64, jsonOut bool) int {
 	archs := ballerino.Architectures()
 	wls := ballerino.Workloads()
 
@@ -207,12 +221,15 @@ func runCompare(width, ops int, foot int64, jsonOut bool) int {
 		var manifests []*obs.Manifest
 		for _, a := range archs {
 			for _, w := range wls {
-				res, err := ballerino.Run(ballerino.Config{
+				res, err := ballerino.RunContext(ctx, ballerino.Config{
 					Arch: a, Width: width, Workload: w,
 					FootprintBytes: foot, MaxOps: ops,
 				})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
+					if errors.Is(err, context.Canceled) {
+						return 130
+					}
 					continue
 				}
 				manifests = append(manifests, res.Manifest)
@@ -238,13 +255,17 @@ func runCompare(width, ops int, foot int64, jsonOut bool) int {
 		fmt.Fprintf(tw, "%s", a)
 		var ipcs []float64
 		for _, w := range wls {
-			res, err := ballerino.Run(ballerino.Config{
+			res, err := ballerino.RunContext(ctx, ballerino.Config{
 				Arch: a, Width: width, Workload: w,
 				FootprintBytes: foot, MaxOps: ops,
 			})
 			if err != nil {
 				fmt.Fprintf(tw, "\tERR")
 				fmt.Fprintln(os.Stderr, err)
+				if errors.Is(err, context.Canceled) {
+					tw.Flush()
+					return 130
+				}
 				continue
 			}
 			if a == "InO" {

@@ -1,0 +1,132 @@
+// Command benchdiff compares two performance trajectories (or emits a new
+// one) for manifest-based regression tracking.
+//
+// Usage:
+//
+//	benchdiff BASE.json HEAD.json            # compare, exit 1 on regression
+//	benchdiff -ipc 0.02 -energy 0.05 BASE HEAD
+//	benchdiff -emit -o BENCH_pr.json -n 5    # run the tier-1 micro set
+//	benchdiff -json BASE HEAD                # machine-readable report
+//
+// Inputs may be "ballerino.bench/v1" trajectories (the -emit output), a
+// single `ballsim -json` run manifest, or a JSON array of manifests
+// (`ballsim -compare -json`); manifests become one-sample points.
+//
+// Comparison is benchstat-style: per metric, the mean and 95% confidence
+// interval over the repeated samples. A regression is a relative change in
+// the bad direction (IPC down, energy/cycles up) beyond the metric's
+// threshold whose confidence intervals do not overlap. The simulator is
+// deterministic, so IPC/energy/cycle means are exact and any flagged
+// regression is a real behavioural change.
+//
+// Exit codes: 0 clean, 1 regression detected, 2 operational error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		emit    = flag.Bool("emit", false, "run the tier-1 microbenchmark set and write a trajectory instead of comparing")
+		out     = flag.String("o", "BENCH_pr.json", "output path for -emit")
+		n       = flag.Int("n", 5, "repetitions per configuration for -emit")
+		ipcTh   = flag.Float64("ipc", 0.02, "max tolerated relative IPC decrease (0 disables)")
+		enTh    = flag.Float64("energy", 0, "max tolerated relative energy increase (0 disables)")
+		cycTh   = flag.Float64("cycles", 0, "max tolerated relative cycle increase (0 disables)")
+		jsonOut = flag.Bool("json", false, "print the comparison report as JSON")
+	)
+	flag.Parse()
+
+	if *emit {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		tr, err := bench.Collect(ctx, bench.DefaultConfigs(), *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := tr.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Printf("wrote %s: %d points × %d samples\n", *out, len(tr.Points), *n)
+		return 0
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] BASE.json HEAD.json  (or -emit -o FILE -n N)")
+		flag.PrintDefaults()
+		return 2
+	}
+	base, err := bench.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	head, err := bench.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	rep := bench.Compare(base, head, bench.Thresholds{IPC: *ipcTh, Energy: *enTh, Cycles: *cycTh})
+	if *jsonOut {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Println(string(b))
+	} else {
+		printReport(rep)
+	}
+	if rep.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond thresholds\n", rep.Regressions)
+		return 1
+	}
+	return 0
+}
+
+func printReport(rep *bench.Report) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "point\tmetric\tbase\thead\tdelta\t")
+	for _, pd := range rep.Points {
+		for _, d := range pd.Deltas {
+			mark := ""
+			if d.Regression {
+				mark = "REGRESSION"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%+.2f%%\t%s\n",
+				pd.Key, d.Metric, fmtCI(d.BaseMean, d.BaseCI), fmtCI(d.HeadMean, d.HeadCI),
+				100*d.Relative, mark)
+		}
+	}
+	tw.Flush()
+	for _, k := range rep.BaseOnly {
+		fmt.Printf("only in base: %s\n", k)
+	}
+	for _, k := range rep.HeadOnly {
+		fmt.Printf("only in head: %s\n", k)
+	}
+}
+
+func fmtCI(mean, ci float64) string {
+	if ci == 0 {
+		return fmt.Sprintf("%.4g", mean)
+	}
+	return fmt.Sprintf("%.4g±%.2g", mean, ci)
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func point(key string, ipcs ...float64) Point {
+	p := Point{Arch: "Ballerino", Workload: key, Width: 8, Ops: 30_000}
+	for _, ipc := range ipcs {
+		p.Samples = append(p.Samples, Sample{IPC: ipc, EnergyPJ: 1e6, Cycles: 10_000, WallSeconds: 0.01})
+	}
+	return p
+}
+
+func trajectory(points ...Point) *Trajectory {
+	return &Trajectory{Schema: Schema, Points: points}
+}
+
+func TestMeanCI95(t *testing.T) {
+	if m, ci := meanCI95(nil); m != 0 || ci != 0 {
+		t.Errorf("empty = (%v, %v)", m, ci)
+	}
+	if m, ci := meanCI95([]float64{3}); m != 3 || ci != 0 {
+		t.Errorf("single = (%v, %v)", m, ci)
+	}
+	// Identical samples (the deterministic-simulator case): zero spread.
+	if m, ci := meanCI95([]float64{2, 2, 2, 2, 2}); m != 2 || ci != 0 {
+		t.Errorf("constant = (%v, %v)", m, ci)
+	}
+	// n=5, sd=√2.5 → ci = 2.776·√2.5/√5 = 2.776·√0.5 ≈ 1.9629.
+	m, ci := meanCI95([]float64{1, 2, 3, 4, 5})
+	if m != 3 || math.Abs(ci-2.776*math.Sqrt(0.5)) > 1e-9 {
+		t.Errorf("spread = (%v, %v)", m, ci)
+	}
+}
+
+// TestCompareFlagsIPCRegression is the synthetic regression fixture: a 5%
+// IPC drop with zero sample spread must trip a 2% threshold, while a 1%
+// drop must not.
+func TestCompareFlagsIPCRegression(t *testing.T) {
+	base := trajectory(point("stream", 2.00, 2.00, 2.00), point("branchy", 1.00, 1.00))
+	head := trajectory(point("stream", 1.90, 1.90, 1.90), point("branchy", 0.995, 0.995))
+	rep := Compare(base, head, Thresholds{IPC: 0.02})
+	if rep.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", rep.Regressions)
+	}
+	var streamIPC, branchyIPC Delta
+	for _, pd := range rep.Points {
+		for _, d := range pd.Deltas {
+			if d.Metric != "ipc" {
+				continue
+			}
+			if pd.Key == (Point{Arch: "Ballerino", Workload: "stream", Width: 8, Ops: 30_000}).Key() {
+				streamIPC = d
+			} else {
+				branchyIPC = d
+			}
+		}
+	}
+	if !streamIPC.Regression {
+		t.Errorf("5%% IPC drop not flagged: %+v", streamIPC)
+	}
+	if math.Abs(streamIPC.Relative-(-0.05)) > 1e-9 {
+		t.Errorf("stream relative = %v, want -0.05", streamIPC.Relative)
+	}
+	if branchyIPC.Regression {
+		t.Errorf("0.5%% IPC drop flagged at 2%% threshold: %+v", branchyIPC)
+	}
+	// An improvement must never flag.
+	better := trajectory(point("stream", 2.50, 2.50, 2.50), point("branchy", 1.10, 1.10))
+	if rep := Compare(base, better, Thresholds{IPC: 0.02}); rep.Regressions != 0 {
+		t.Errorf("improvement flagged as regression: %+v", rep)
+	}
+}
+
+// TestCompareCIOverlapGuard: a mean shift within the measurement noise
+// (overlapping 95% CIs) is not a regression even beyond the threshold.
+func TestCompareCIOverlapGuard(t *testing.T) {
+	base := trajectory(point("stream", 1.8, 2.0, 2.2))
+	head := trajectory(point("stream", 1.7, 1.9, 2.1)) // −5% mean, huge spread
+	if rep := Compare(base, head, Thresholds{IPC: 0.02}); rep.Regressions != 0 {
+		t.Errorf("noisy shift flagged despite CI overlap: %+v", rep)
+	}
+}
+
+func TestCompareEnergyAndCycleDirections(t *testing.T) {
+	base := trajectory(point("stream", 2.0))
+	head := trajectory(point("stream", 2.0))
+	head.Points[0].Samples[0].EnergyPJ = 1.10e6 // +10%
+	head.Points[0].Samples[0].Cycles = 10_500   // +5%
+	rep := Compare(base, head, Thresholds{Energy: 0.02, Cycles: 0.02})
+	if rep.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (energy up, cycles up): %+v", rep.Regressions, rep)
+	}
+	// Energy down / cycles down are improvements.
+	head.Points[0].Samples[0].EnergyPJ = 0.5e6
+	head.Points[0].Samples[0].Cycles = 9_000
+	if rep := Compare(base, head, Thresholds{Energy: 0.02, Cycles: 0.02}); rep.Regressions != 0 {
+		t.Errorf("improvements flagged: %+v", rep)
+	}
+}
+
+func TestCompareUnmatchedPoints(t *testing.T) {
+	base := trajectory(point("stream", 2.0), point("branchy", 1.0))
+	head := trajectory(point("stream", 2.0), point("stencil", 1.5))
+	rep := Compare(base, head, Thresholds{IPC: 0.02})
+	if len(rep.Points) != 1 || len(rep.BaseOnly) != 1 || len(rep.HeadOnly) != 1 {
+		t.Fatalf("matching wrong: %+v", rep)
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+	tr := trajectory(point("stream", 2.0, 2.0))
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Points) != 1 || len(got.Points[0].Samples) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+// TestParseManifestShapes: Load accepts a single run manifest and a
+// manifest array, folding repeated configurations into multi-sample
+// points.
+func TestParseManifestShapes(t *testing.T) {
+	m := func(wl string, ipc float64) *obs.Manifest {
+		mm := &obs.Manifest{Schema: obs.ManifestSchema}
+		mm.Sim = obs.SimInfo{Arch: "Ballerino", Workload: wl, Width: 8, Ops: 1000}
+		mm.Stats.IPC = ipc
+		mm.Stats.Cycles = 500
+		mm.Energy.TotalPJ = 42
+		mm.WallSeconds = 0.001
+		return mm
+	}
+	one, _ := json.Marshal(m("stream", 2.0))
+	tr, err := Parse(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 1 || tr.Points[0].Samples[0].IPC != 2.0 {
+		t.Fatalf("single manifest: %+v", tr)
+	}
+
+	arr, _ := json.Marshal([]*obs.Manifest{m("stream", 2.0), m("stream", 2.0), m("branchy", 1.0)})
+	tr, err = Parse(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 2 || len(tr.Points[0].Samples) != 2 {
+		t.Fatalf("manifest array did not fold: %+v", tr)
+	}
+
+	if _, err := Parse([]byte(`{"what": 1}`)); err == nil {
+		t.Error("junk JSON accepted")
+	}
+	if _, err := Parse([]byte(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+// TestCollectDeterministic: the simulator gives identical samples across
+// repetitions (wall time aside), the property the CI gate relies on.
+func TestCollectDeterministic(t *testing.T) {
+	cfgs := []Config{{Arch: "Ballerino", Workload: "store-load", Width: 8, Ops: 5_000}}
+	tr, err := Collect(context.Background(), cfgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 1 || len(tr.Points[0].Samples) != 3 {
+		t.Fatalf("collected %+v", tr)
+	}
+	s := tr.Points[0].Samples
+	for i := 1; i < len(s); i++ {
+		if s[i].IPC != s[0].IPC || s[i].Cycles != s[0].Cycles || s[i].EnergyPJ != s[0].EnergyPJ {
+			t.Errorf("sample %d differs: %+v vs %+v", i, s[i], s[0])
+		}
+	}
+	if s[0].IPC <= 0 || s[0].Cycles == 0 {
+		t.Errorf("degenerate sample: %+v", s[0])
+	}
+	// Self-comparison is regression-free by construction.
+	if rep := Compare(tr, tr, Thresholds{IPC: 0.0001, Energy: 0.0001, Cycles: 0.0001}); rep.Regressions != 0 {
+		t.Errorf("self-compare regressed: %+v", rep)
+	}
+}
+
+// TestCollectCancelled: a cancelled sweep propagates the context error.
+func TestCollectCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Collect(ctx, DefaultConfigs(), 1); err == nil {
+		t.Error("cancelled Collect returned nil error")
+	}
+}
+
+func TestDefaultConfigsValid(t *testing.T) {
+	cfgs := DefaultConfigs()
+	if len(cfgs) == 0 {
+		t.Fatal("no default configs")
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		p := Point{Arch: c.Arch, Workload: c.Workload, Width: c.Width, Ops: c.Ops}
+		if seen[p.Key()] {
+			t.Errorf("duplicate config %s", p.Key())
+		}
+		seen[p.Key()] = true
+	}
+}

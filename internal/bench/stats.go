@@ -1,0 +1,48 @@
+package bench
+
+import "math"
+
+// tTable95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom (benchstat uses the same distribution); larger
+// sample counts fall back to the normal 1.96.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit95(df int) float64 {
+	switch {
+	case df <= 0:
+		return 0
+	case df <= len(tTable95):
+		return tTable95[df-1]
+	default:
+		return 1.96
+	}
+}
+
+// meanCI95 returns the sample mean and the half-width of its 95%
+// confidence interval (0 for fewer than two samples: a single
+// deterministic run carries no spread to estimate).
+func meanCI95(xs []float64) (mean, ci float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, tCrit95(n-1) * sd / math.Sqrt(float64(n))
+}

@@ -158,7 +158,11 @@ type MetricsDump struct {
 	Histograms []HistogramDump   `json:"histograms"`
 }
 
-// Dump snapshots the registry (nil-safe: returns nil).
+// Dump snapshots the registry (nil-safe: returns nil). The snapshot is a
+// deep copy — bucket slices included — so it stays immutable while the
+// registry keeps accumulating, and may be handed to another goroutine
+// (the telemetry /metrics handler renders dumps taken on the simulation
+// goroutine).
 func (r *Registry) Dump() *MetricsDump {
 	if r == nil {
 		return nil
@@ -171,8 +175,8 @@ func (r *Registry) Dump() *MetricsDump {
 		h := r.hists[name]
 		d.Histograms = append(d.Histograms, HistogramDump{
 			Name:   h.Name,
-			Bounds: h.Bounds,
-			Counts: h.Counts,
+			Bounds: append([]uint64(nil), h.Bounds...),
+			Counts: append([]uint64(nil), h.Counts...),
 			N:      h.N,
 			Sum:    h.Sum,
 			Max:    h.Max,

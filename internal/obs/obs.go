@@ -11,6 +11,8 @@
 package obs
 
 import (
+	"errors"
+
 	"repro/internal/isa"
 	"repro/internal/sched"
 )
@@ -126,8 +128,16 @@ type Sink interface {
 // the off state: every method is nil-safe, so instrumented code holds a
 // possibly-nil *Recorder and pays only a nil check when observability is
 // detached.
+//
+// Goroutine safety: the recorder is single-threaded by contract. Emit,
+// Heartbeat, Finish and every other mutating method must be called from
+// the simulation goroutine only; sinks and interval hooks are invoked
+// synchronously on that goroutine. A hook that hands data to another
+// goroutine (the SSE stream in internal/telemetry, for example) must do
+// its own synchronization — the recorder provides none.
 type Recorder struct {
 	sinks []Sink
+	hooks []func(Interval)
 
 	interval uint64
 	nextBeat uint64
@@ -175,6 +185,20 @@ func (r *Recorder) Registry() *Registry {
 		return nil
 	}
 	return r.reg
+}
+
+// OnInterval registers fn to observe every interval snapshot, after the
+// sinks. Hooks are the snapshot fan-out surface: any number of consumers
+// (sinks, the live SSE stream, gauge updaters) can watch the same
+// heartbeat without racing, because all of them run synchronously on the
+// simulation goroutine in registration order. fn may safely read the
+// recorder's Registry while it runs; to publish beyond the simulation
+// goroutine it must synchronize itself. Safe on a nil receiver (no-op).
+func (r *Recorder) OnInterval(fn func(Interval)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.hooks = append(r.hooks, fn)
 }
 
 // Start re-bases the recorder at snapshot s: s becomes the baseline the
@@ -258,6 +282,9 @@ func (r *Recorder) beat(s Snapshot) {
 	for _, sk := range r.sinks {
 		sk.Interval(iv)
 	}
+	for _, fn := range r.hooks {
+		fn(iv)
+	}
 }
 
 // Intervals returns the number of interval rows emitted so far.
@@ -287,18 +314,20 @@ func (r *Recorder) FinalizeSched(counters map[string]uint64) {
 	}
 }
 
-// Close flushes and closes every sink, returning the first error.
+// Close flushes and closes every sink. Every sink is closed even when an
+// earlier one fails; the individual errors are aggregated with
+// errors.Join, so no flush failure is masked by another.
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
 	}
-	var first error
+	var errs []error
 	for _, s := range r.sinks {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // Snapshot is the cumulative counter state at one heartbeat, sampled by

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over the metrics
+// registry. The renderer works from a MetricsDump — an immutable snapshot —
+// rather than the live Registry, so an HTTP handler never races the
+// simulation goroutine: the dump is taken on the simulation goroutine (an
+// OnInterval hook, or the manifest at end of run) and handed over under
+// the caller's lock.
+
+// PromLabels is one sample's label set. Values are escaped on render;
+// names are used as-is and must be valid Prometheus label names.
+type PromLabels map[string]string
+
+// PromGauge is one gauge sample for WritePromGauges.
+type PromGauge struct {
+	Name   string
+	Help   string
+	Labels PromLabels
+	Value  float64
+}
+
+// promName maps a registry metric name to a valid Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): every run of invalid characters (including
+// a leading digit) becomes one underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	prevUnder := false
+	for i, c := range name {
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		switch {
+		case valid:
+			b.WriteRune(c)
+			prevUnder = c == '_'
+		case !prevUnder:
+			b.WriteByte('_')
+			prevUnder = true
+		}
+	}
+	out := b.String()
+	if out == "" {
+		return "_"
+	}
+	return out
+}
+
+// promEscape escapes a label value per the text format: backslash, double
+// quote and newline.
+func promEscape(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels renders {k="v",...} with keys sorted, or "" when empty.
+// extra, when non-empty, is appended last (already-rendered pairs).
+func renderLabels(labels PromLabels, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, promEscape(labels[k]))
+	}
+	if extra != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the dump in the Prometheus text format: every
+// counter as `<prefix><name>_total`, every histogram as a cumulative
+// `_bucket{le="..."}` series (the registry's inclusive upper bounds match
+// Prometheus `le` semantics exactly) plus `_sum` and `_count`. labels are
+// attached to every sample. Output is sorted by metric name, so rendering
+// is deterministic.
+func WritePrometheus(w io.Writer, prefix string, d *MetricsDump, labels PromLabels) error {
+	if d == nil {
+		return nil
+	}
+	lbl := renderLabels(labels, "")
+
+	names := make([]string, 0, len(d.Counters))
+	for name := range d.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := prefix + promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s Registry counter %q.\n# TYPE %s counter\n%s%s %d\n",
+			mn, name, mn, mn, lbl, d.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	hists := append([]HistogramDump(nil), d.Histograms...)
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	for _, h := range hists {
+		mn := prefix + promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Registry histogram %q.\n# TYPE %s histogram\n",
+			mn, h.Name, mn); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := renderLabels(labels, `le="`+promFloat(float64(bound))+`"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", mn, le, cum); err != nil {
+				return err
+			}
+		}
+		inf := renderLabels(labels, `le="+Inf"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %d\n%s_count%s %d\n",
+			mn, inf, h.N, mn, lbl, h.Sum, mn, lbl, h.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePromGauges renders gauge samples in the text format. Gauges are
+// sorted by name (then rendered label set), and HELP/TYPE headers are
+// emitted once per name, so several samples of one gauge that differ only
+// in labels form a single valid family.
+func WritePromGauges(w io.Writer, gauges []PromGauge) error {
+	gs := append([]PromGauge(nil), gauges...)
+	sort.SliceStable(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+	prev := ""
+	for _, g := range gs {
+		name := promName(g.Name)
+		if name != prev {
+			help := g.Help
+			if help == "" {
+				help = "Gauge " + g.Name + "."
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name); err != nil {
+				return err
+			}
+			prev = name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(g.Labels, ""), promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

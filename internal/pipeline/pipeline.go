@@ -10,6 +10,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -367,7 +368,12 @@ func (p *Pipeline) DebugState() string {
 // accounting in callers should note that structure event counters
 // (scheduler, caches) keep accumulating across the warm-up.
 func (p *Pipeline) Warmup(warmupCommits uint64) error {
-	if _, err := p.Run(warmupCommits); err != nil {
+	return p.WarmupContext(context.Background(), warmupCommits)
+}
+
+// WarmupContext is Warmup with cooperative cancellation (see RunContext).
+func (p *Pipeline) WarmupContext(ctx context.Context, warmupCommits uint64) error {
+	if _, err := p.RunContext(ctx, warmupCommits); err != nil {
 		return err
 	}
 	committedBase := p.stats.Committed
@@ -384,9 +390,34 @@ func (p *Pipeline) Warmup(warmupCommits uint64) error {
 // a *check.DeadlockError and the audit path a *check.ViolationError, both
 // carrying a structured machine-state autopsy.
 func (p *Pipeline) Run(maxCommits uint64) (*stats.Sim, error) {
+	return p.RunContext(context.Background(), maxCommits)
+}
+
+// cancelCheckMask paces the cancellation poll: the context is consulted
+// once every (mask+1) cycles, so the hot loop pays nothing measurable for
+// cancellability while a cancelled run still stops within microseconds.
+const cancelCheckMask = 1<<10 - 1
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the simulation stops at the next poll boundary and returns the stats so
+// far plus an error wrapping context.Cause(ctx) (so errors.Is against
+// context.Canceled / context.DeadlineExceeded works). The pipeline stays
+// internally consistent after a cancelled run — sinks can still be
+// flushed and the partial statistics read — but the run cannot be
+// resumed.
+func (p *Pipeline) RunContext(ctx context.Context, maxCommits uint64) (*stats.Sim, error) {
+	done := ctx.Done()
 	for p.stats.Committed < maxCommits {
 		if p.drained() {
 			break
+		}
+		if done != nil && p.cycle&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				p.stats.Cycles = p.cycle - p.warmupCycles
+				return &p.stats, fmt.Errorf("pipeline: run cancelled at cycle %d: %w", p.cycle, context.Cause(ctx))
+			default:
+			}
 		}
 		p.step()
 		if p.auditErr != nil {

@@ -1,6 +1,7 @@
 package prog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -103,6 +104,20 @@ type Trace struct {
 // and OpNop padding never enters the stream is false: nops are traced so the
 // front-end sees them, matching a real fetch stream).
 func Execute(p *Program, maxOps int) (*Trace, error) {
+	return ExecuteContext(context.Background(), p, maxOps)
+}
+
+// genCancelMask paces the cancellation poll during trace generation: one
+// ctx check every 64K generated μops, cheap enough to vanish in the
+// interpreter loop while bounding cancel latency to well under a
+// millisecond of generation work.
+const genCancelMask = 1<<16 - 1
+
+// ExecuteContext is Execute with cooperative cancellation: generating a
+// long trace polls ctx every 64K μops and aborts with an error wrapping
+// context.Cause(ctx), so services truncating multi-million-μop kernels can
+// shut down without waiting out the interpreter.
+func ExecuteContext(ctx context.Context, p *Program, maxOps int) (*Trace, error) {
 	st := NewArchState()
 	for r, v := range p.InitReg {
 		st.Regs[r] = v
@@ -117,7 +132,16 @@ func Execute(p *Program, maxOps int) (*Trace, error) {
 		LoadValues: make(map[uint64]int64),
 	}
 	pc := 0
+	done := ctx.Done()
 	for len(tr.Ops) < maxOps {
+		if done != nil && len(tr.Ops)&genCancelMask == 0 && len(tr.Ops) > 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("prog: trace generation cancelled at %d μops: %w",
+					len(tr.Ops), context.Cause(ctx))
+			default:
+			}
+		}
 		if pc < 0 || pc >= len(p.Insts) {
 			return nil, fmt.Errorf("prog: program %q: pc %d out of range", p.Name, pc)
 		}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// hub fans pre-rendered SSE frames out to every connected /stream client.
+// Publishers never block: a subscriber that cannot keep up has frames
+// dropped (live telemetry is a lossy window, not a durable log — the
+// manifest is the durable record).
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+// subBuffer is each subscriber's frame buffer; at the default heartbeat
+// rate this is minutes of slack before drops start.
+const subBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]struct{})}
+}
+
+// subscribe registers a new client. It returns a nil channel when the hub
+// is already closed (server shutting down). cancel is idempotent.
+func (h *hub) subscribe() (ch chan []byte, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, func() {}
+	}
+	ch = make(chan []byte, subBuffer)
+	h.subs[ch] = struct{}{}
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			if _, ok := h.subs[ch]; ok {
+				delete(h.subs, ch)
+				close(ch)
+			}
+		})
+	}
+}
+
+// count returns the number of connected subscribers.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// publish renders one SSE frame (`event: <event>` + JSON data line) and
+// delivers it to every subscriber without blocking.
+func (h *hub) publish(event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return // v is always one of our own types; a marshal failure is a bug, not a client's problem
+	}
+	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+		default: // slow client: drop this frame for them
+		}
+	}
+}
+
+// close disconnects every subscriber and refuses new ones.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

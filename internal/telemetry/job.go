@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ballerino "repro"
+	"repro/internal/obs"
+)
+
+// JobSpec is the wire form of one simulation job — the subset of
+// ballerino.Config a client may select over HTTP (no file paths: a served
+// job's artifacts are its manifest and the live streams, never ad-hoc
+// files on the serving host).
+type JobSpec struct {
+	Arch           string `json:"arch"`
+	Workload       string `json:"workload"`
+	Width          int    `json:"width,omitempty"`
+	Ops            int    `json:"ops,omitempty"`
+	WarmupOps      int    `json:"warmup_ops,omitempty"`
+	FootprintBytes int64  `json:"footprint_bytes,omitempty"`
+	NumPIQs        int    `json:"num_piqs,omitempty"`
+	PIQDepth       int    `json:"piq_depth,omitempty"`
+	DisableMDP     bool   `json:"disable_mdp,omitempty"`
+	DVFS           string `json:"dvfs,omitempty"`
+}
+
+// Config lowers the spec to a runnable ballerino.Config.
+func (sp JobSpec) Config() ballerino.Config {
+	return ballerino.Config{
+		Arch:           sp.Arch,
+		Workload:       sp.Workload,
+		Width:          sp.Width,
+		MaxOps:         sp.Ops,
+		WarmupOps:      sp.WarmupOps,
+		FootprintBytes: sp.FootprintBytes,
+		NumPIQs:        sp.NumPIQs,
+		PIQDepth:       sp.PIQDepth,
+		DisableMDP:     sp.DisableMDP,
+		DVFS:           sp.DVFS,
+	}
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed | cancelled. A queued
+// job cancelled before it starts goes straight to cancelled.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job is one queued or executed simulation.
+type Job struct {
+	ID   int
+	Spec JobSpec
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	manifest  *obs.Manifest
+	cancel    func() // set while running; cancels the run context
+	live      *liveJob
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobView is the JSON rendering of a job's state.
+type JobView struct {
+	ID          int           `json:"id"`
+	State       JobState      `json:"state"`
+	Error       string        `json:"error,omitempty"`
+	Spec        JobSpec       `json:"spec"`
+	SubmittedAt string        `json:"submitted_at,omitempty"`
+	StartedAt   string        `json:"started_at,omitempty"`
+	FinishedAt  string        `json:"finished_at,omitempty"`
+	Intervals   int           `json:"intervals,omitempty"`
+	Manifest    *obs.Manifest `json:"manifest,omitempty"`
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// View snapshots the job for JSON rendering. The manifest (a large
+// object) is included only on request.
+func (j *Job) View(withManifest bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		State:       j.state,
+		Error:       j.errMsg,
+		Spec:        j.Spec,
+		SubmittedAt: fmtTime(j.submitted),
+		StartedAt:   fmtTime(j.started),
+		FinishedAt:  fmtTime(j.finished),
+	}
+	if j.live != nil {
+		v.Intervals = j.live.intervalCount()
+	}
+	if withManifest {
+		v.Manifest = j.manifest
+	}
+	return v
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Manifest returns the run manifest (nil until the job is done).
+func (j *Job) Manifest() *obs.Manifest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.manifest
+}
+
+// Cancel cancels the job: a queued job is marked cancelled immediately
+// (reported via the returned previous state), a running one has its run
+// context cancelled and reaches the cancelled state when the pipeline
+// notices. Terminal states are unaffected.
+func (j *Job) Cancel() JobState {
+	j.mu.Lock()
+	prev := j.state
+	switch j.state {
+	case JobQueued:
+		j.state = JobCancelled
+		j.finished = time.Now()
+	case JobRunning:
+		if j.cancel != nil {
+			defer j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return prev
+}
+
+// eventCounter is the obs.Sink a served job attaches for event-granular
+// gauges. Event runs on the simulation goroutine for every pipeline
+// event, so the counters are lock-free atomics; HTTP handlers read them
+// at any time.
+type eventCounter struct {
+	dispatches atomic.Uint64
+	shares     atomic.Uint64
+}
+
+func (c *eventCounter) Event(e *obs.Event) {
+	switch e.Kind {
+	case obs.KindDispatch:
+		c.dispatches.Add(1)
+	case obs.KindPIQShare:
+		c.shares.Add(1)
+	}
+}
+
+func (c *eventCounter) Interval(obs.Interval) {}
+func (c *eventCounter) Close() error          { return nil }
+
+// shareRate returns the fraction of dispatched μops that allocated into a
+// shared P-IQ partition (0 when nothing dispatched yet).
+func (c *eventCounter) shareRate() float64 {
+	d := c.dispatches.Load()
+	if d == 0 {
+		return 0
+	}
+	return float64(c.shares.Load()) / float64(d)
+}
+
+// liveJob is the heartbeat-updated live state of one served job: the
+// source of the per-job Prometheus gauges and of the post-completion
+// /metrics view. Writes happen on the simulation goroutine via the
+// recorder's interval fan-out hook; every read takes mu.
+type liveJob struct {
+	jobID    int
+	arch     string
+	workload string
+	events   eventCounter
+
+	mu        sync.Mutex
+	last      obs.Interval
+	intervals int
+	// Cumulative counters: sums of the interval deltas, which by the
+	// recorder's contract equal the end-of-run statistics once the final
+	// (partial) interval lands.
+	cycles, committed, fetched, issued   uint64
+	flushes, squashed, stalls            uint64
+	mispredicts, violations              uint64
+	dump                                 *obs.MetricsDump
+	done                                 bool
+	finalIPC, finalEnergyPJ, finalOccAvg float64
+}
+
+func newLiveJob(j *Job) *liveJob {
+	return &liveJob{jobID: j.ID, arch: j.Spec.Arch, workload: j.Spec.Workload}
+}
+
+// observe folds one heartbeat interval (and the registry dump taken with
+// it) into the live state. Runs on the simulation goroutine.
+func (l *liveJob) observe(iv obs.Interval, dump *obs.MetricsDump) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.last = iv
+	l.intervals++
+	l.cycles += iv.EndCycle - iv.StartCycle
+	l.committed += iv.Committed
+	l.fetched += iv.Fetched
+	l.issued += iv.Issued
+	l.flushes += iv.Flushes
+	l.squashed += iv.Squashed
+	l.stalls += iv.DispatchStalls
+	l.mispredicts += iv.Mispredicts
+	l.violations += iv.Violations
+	l.dump = dump
+}
+
+// finish pins the live state to the run manifest, so the gauges exposed
+// after completion are exactly the manifest's final statistics (including
+// the scheduler counters folded in by FinalizeSched, which no heartbeat
+// ever sees).
+func (l *liveJob) finish(m *obs.Manifest) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.done = true
+	l.cycles = m.Stats.Cycles
+	l.committed = m.Stats.Committed
+	l.fetched = m.Stats.Fetched
+	l.issued = m.Stats.Issued
+	l.flushes = m.Stats.Flushes
+	l.squashed = m.Stats.Squashed
+	l.stalls = m.Stats.DispatchStalls
+	l.mispredicts = m.Stats.Mispredicts
+	l.violations = m.Stats.Violations
+	l.finalIPC = m.Stats.IPC
+	l.finalEnergyPJ = m.Energy.TotalPJ
+	l.finalOccAvg = m.Stats.AvgOccupancy
+	l.dump = m.Metrics
+}
+
+func (l *liveJob) intervalCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.intervals
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics renders the Prometheus exposition: service counters, the
+// per-job gauges of the current (or most recent) job, and that job's full
+// metrics-registry dump under the `ballerino_` prefix. Everything is
+// rendered from locked snapshots — no handler ever touches live
+// simulation state.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b bytes.Buffer
+
+	for _, c := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"ballserved_jobs_submitted_total", "Jobs accepted into the queue.", s.submitted.Load()},
+		{"ballserved_jobs_completed_total", "Jobs that finished successfully.", s.completed.Load()},
+		{"ballserved_jobs_failed_total", "Jobs that ended in a simulation error.", s.failed.Load()},
+		{"ballserved_jobs_cancelled_total", "Jobs cancelled before or during execution.", s.cancelled.Load()},
+	} {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+
+	s.mu.Lock()
+	live := s.live
+	running := 0
+	if s.current != nil {
+		running = 1
+	}
+	s.mu.Unlock()
+
+	gauges := []obs.PromGauge{
+		{Name: "ballserved_ready", Help: "1 when the server accepts jobs.", Value: b2f(s.ready.Load())},
+		{Name: "ballserved_jobs_running", Help: "Jobs currently executing.", Value: float64(running)},
+		{Name: "ballserved_jobs_queued", Help: "Jobs waiting in the queue.", Value: float64(len(s.queue))},
+		{Name: "ballserved_stream_subscribers", Help: "Connected /stream clients.", Value: float64(s.hub.count())},
+	}
+
+	var dump *obs.MetricsDump
+	var labels obs.PromLabels
+	if live != nil {
+		labels = obs.PromLabels{
+			"job":      strconv.Itoa(live.jobID),
+			"arch":     live.arch,
+			"workload": live.workload,
+		}
+		live.mu.Lock()
+		ipc := 0.0
+		if live.done {
+			ipc = live.finalIPC
+		} else if live.cycles > 0 {
+			ipc = float64(live.committed) / float64(live.cycles)
+		}
+		jg := []obs.PromGauge{
+			{Name: "ballserved_job_ipc", Help: "Committed μops per cycle (final value once the job is done).", Value: ipc},
+			{Name: "ballserved_job_interval_ipc", Help: "IPC of the most recent heartbeat interval.", Value: live.last.IPC()},
+			{Name: "ballserved_job_cycles", Help: "Simulated cycles in the measured region.", Value: float64(live.cycles)},
+			{Name: "ballserved_job_committed", Help: "Committed μops.", Value: float64(live.committed)},
+			{Name: "ballserved_job_fetched", Help: "Fetched μops.", Value: float64(live.fetched)},
+			{Name: "ballserved_job_issued", Help: "Issued μops.", Value: float64(live.issued)},
+			{Name: "ballserved_job_flushes", Help: "Pipeline flushes.", Value: float64(live.flushes)},
+			{Name: "ballserved_job_squashed", Help: "Squashed μops.", Value: float64(live.squashed)},
+			{Name: "ballserved_job_dispatch_stalls", Help: "Dispatch stall cycles.", Value: float64(live.stalls)},
+			{Name: "ballserved_job_mispredicts", Help: "Branch mispredicts.", Value: float64(live.mispredicts)},
+			{Name: "ballserved_job_violations", Help: "Memory order violations.", Value: float64(live.violations)},
+			{Name: "ballserved_job_sched_occupancy", Help: "Scheduler occupancy at the last heartbeat.", Value: float64(live.last.SchedOccupancy)},
+			{Name: "ballserved_job_lq_pressure", Help: "Load-queue entries at the last heartbeat.", Value: float64(live.last.LQ)},
+			{Name: "ballserved_job_sq_pressure", Help: "Store-queue entries at the last heartbeat.", Value: float64(live.last.SQ)},
+			{Name: "ballserved_job_piq_share_rate", Help: "Fraction of dispatched μops allocated into a shared P-IQ partition.", Value: live.events.shareRate()},
+			{Name: "ballserved_job_intervals", Help: "Heartbeat intervals observed.", Value: float64(live.intervals)},
+			{Name: "ballserved_job_done", Help: "1 once the job reached a terminal state and the gauges are final.", Value: b2f(live.done)},
+		}
+		dump = live.dump
+		live.mu.Unlock()
+		for i := range jg {
+			jg[i].Labels = labels
+		}
+		gauges = append(gauges, jg...)
+	}
+
+	obs.WritePromGauges(&b, gauges)
+	if dump != nil {
+		obs.WritePrometheus(&b, "ballerino_", dump, labels)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

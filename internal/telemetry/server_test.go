@@ -1,0 +1,426 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer builds and starts a server with a fast heartbeat, mounted
+// on an httptest server. Both are torn down with the test.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(Options{HeartbeatCycles: 500})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func submitJob(t *testing.T, ts *httptest.Server, spec JobSpec) JobView {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var v JobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+	return v
+}
+
+func waitForState(t *testing.T, s *Server, id int, want JobState) *Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job := s.Job(id)
+		if job != nil && job.State() == want {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	job := s.Job(id)
+	state := JobState("<missing>")
+	if job != nil {
+		state = job.State()
+	}
+	t.Fatalf("job %d did not reach %q (now %q)", id, want, state)
+	return nil
+}
+
+// scrape fetches /metrics and returns every sample as name → value
+// (labels stripped; the tests run one job at a time so names are unique).
+func scrape(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			// keep bucket les distinct, drop other label sets
+			if strings.Contains(name[i:], "le=") {
+				name = name[:i] + "{" + extractLE(name[i:]) + "}"
+			} else {
+				name = name[:i]
+			}
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+func extractLE(labels string) string {
+	i := strings.Index(labels, `le="`)
+	rest := labels[i+4:]
+	j := strings.IndexByte(rest, '"')
+	return `le="` + rest[:j] + `"`
+}
+
+// TestServedJobMetricsMatchManifest runs one job to completion and checks
+// the acceptance criterion: /metrics is valid exposition whose final
+// values equal the run's manifest stats, including the registry counters.
+func TestServedJobMetricsMatchManifest(t *testing.T) {
+	s, ts := newTestServer(t)
+	v := submitJob(t, ts, JobSpec{Arch: "Ballerino", Workload: "store-load", Ops: 10_000})
+	job := waitForState(t, s, v.ID, JobDone)
+	m := job.Manifest()
+	if m == nil {
+		t.Fatal("done job has no manifest")
+	}
+
+	got := scrape(t, ts)
+	for name, want := range map[string]float64{
+		"ballserved_jobs_submitted_total": 1,
+		"ballserved_jobs_completed_total": 1,
+		"ballserved_jobs_failed_total":    0,
+		"ballserved_job_done":             1,
+		"ballserved_job_cycles":           float64(m.Stats.Cycles),
+		"ballserved_job_committed":        float64(m.Stats.Committed),
+		"ballserved_job_fetched":          float64(m.Stats.Fetched),
+		"ballserved_job_issued":           float64(m.Stats.Issued),
+		"ballserved_job_flushes":          float64(m.Stats.Flushes),
+		"ballserved_job_squashed":         float64(m.Stats.Squashed),
+		"ballserved_job_ipc":              m.Stats.IPC,
+	} {
+		if got[name] != want {
+			t.Errorf("%s = %v, want %v", name, got[name], want)
+		}
+	}
+	// Registry counters (including the sched.* set folded in at the end)
+	// must appear under the ballerino_ prefix with manifest-exact values.
+	if m.Metrics == nil || len(m.Metrics.Counters) == 0 {
+		t.Fatal("manifest has no metrics dump")
+	}
+	checked := 0
+	for name, want := range m.Metrics.Counters {
+		pn := "ballerino_" + promTestName(name) + "_total"
+		if gotV, ok := got[pn]; ok {
+			checked++
+			if gotV != float64(want) {
+				t.Errorf("%s = %v, want %d", pn, gotV, want)
+			}
+		} else {
+			t.Errorf("counter %q (%s) missing from exposition", name, pn)
+		}
+	}
+	if checked == 0 {
+		t.Error("no registry counters exposed")
+	}
+	// Histogram exposition: every registry histogram contributes a _count
+	// equal to its sample count.
+	for _, h := range m.Metrics.Histograms {
+		pn := "ballerino_" + promTestName(h.Name) + "_count"
+		if got[pn] != float64(h.N) {
+			t.Errorf("%s = %v, want %d", pn, got[pn], h.N)
+		}
+	}
+}
+
+// promTestName mirrors the exposition's name sanitisation for lookups.
+func promTestName(name string) string {
+	var b strings.Builder
+	under := false
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9' && i > 0)
+		switch {
+		case ok:
+			b.WriteRune(c)
+			under = c == '_'
+		case !under:
+			b.WriteByte('_')
+			under = true
+		}
+	}
+	return b.String()
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+// readSSE parses frames off an SSE stream until stop returns true or the
+// stream ends.
+func readSSE(t *testing.T, r io.Reader, stop func(sseEvent) bool) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				events = append(events, cur)
+				if stop(cur) {
+					return events
+				}
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[len("data: "):]
+		default:
+			t.Errorf("unexpected SSE line %q", line)
+		}
+	}
+	return events
+}
+
+// TestSSEStream subscribes before submitting a job and verifies the live
+// stream: well-formed frames, per-heartbeat interval events whose
+// committed deltas sum to the manifest total, and the final job
+// transition to done.
+func TestSSEStream(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+
+	v := submitJob(t, ts, JobSpec{Arch: "Ballerino", Workload: "stream", Ops: 20_000})
+
+	done := func(e sseEvent) bool {
+		if e.event != "job" {
+			return false
+		}
+		var jv JobView
+		if err := json.Unmarshal([]byte(e.data), &jv); err != nil {
+			t.Fatalf("job event data: %v", err)
+		}
+		return jv.ID == v.ID && (jv.State == JobDone || jv.State == JobFailed)
+	}
+	events := readSSE(t, resp.Body, done)
+
+	var intervals int
+	var committed uint64
+	for _, e := range events {
+		switch e.event {
+		case "interval":
+			var iv streamInterval
+			if err := json.Unmarshal([]byte(e.data), &iv); err != nil {
+				t.Fatalf("interval event data: %v", err)
+			}
+			if iv.Job != v.ID {
+				t.Errorf("interval for job %d, want %d", iv.Job, v.ID)
+			}
+			intervals++
+			committed += iv.Committed
+		case "job":
+		default:
+			t.Errorf("unexpected SSE event %q", e.event)
+		}
+	}
+	if intervals == 0 {
+		t.Fatal("no interval events streamed")
+	}
+	job := waitForState(t, s, v.ID, JobDone)
+	m := job.Manifest()
+	if committed != m.Stats.Committed {
+		t.Errorf("streamed committed sum = %d, manifest = %d", committed, m.Stats.Committed)
+	}
+	if intervals != m.Intervals {
+		t.Errorf("streamed %d intervals, manifest recorded %d", intervals, m.Intervals)
+	}
+}
+
+// TestCancelRunningJob cancels a long job over HTTP and expects the
+// cancelled terminal state via the pipeline's cooperative context.
+func TestCancelRunningJob(t *testing.T) {
+	s, ts := newTestServer(t)
+	v := submitJob(t, ts, JobSpec{Arch: "Ballerino", Workload: "stream", Ops: 5_000_000})
+	waitForState(t, s, v.ID, JobRunning)
+	resp, err := http.Post(ts.URL+fmt.Sprintf("/jobs/%d/cancel", v.ID), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	job := waitForState(t, s, v.ID, JobCancelled)
+	if m := job.Manifest(); m != nil {
+		t.Error("cancelled job has a manifest")
+	}
+	if got := scrape(t, ts)["ballserved_jobs_cancelled_total"]; got != 1 {
+		t.Errorf("cancelled counter = %v, want 1", got)
+	}
+}
+
+// TestHealthReadyAndShutdown: /healthz is always live, /readyz tracks the
+// accepting state, and Shutdown cancels the in-flight job and refuses new
+// submissions.
+func TestHealthReadyAndShutdown(t *testing.T) {
+	s := NewServer(Options{HeartbeatCycles: 500})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != 200 {
+		t.Errorf("healthz before start = %d", got)
+	}
+	if got := get("/readyz"); got != 503 {
+		t.Errorf("readyz before start = %d, want 503", got)
+	}
+	s.Start()
+	if got := get("/readyz"); got != 200 {
+		t.Errorf("readyz after start = %d", got)
+	}
+
+	v := submitJob(t, ts, JobSpec{Arch: "Ballerino", Workload: "stream", Ops: 5_000_000})
+	waitForState(t, s, v.ID, JobRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := get("/readyz"); got != 503 {
+		t.Errorf("readyz after shutdown = %d, want 503", got)
+	}
+	if st := s.Job(v.ID).State(); st != JobCancelled {
+		t.Errorf("in-flight job state after shutdown = %q, want cancelled", st)
+	}
+	if _, err := s.Submit(JobSpec{Arch: "Ballerino", Workload: "stream"}); err == nil {
+		t.Error("submit after shutdown succeeded")
+	}
+}
+
+// TestSubmitValidation: malformed JSON and invalid configs are 400s with
+// an error body, and never reach the queue.
+func TestSubmitValidation(t *testing.T) {
+	s, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"arch": "NoSuchArch"}`,
+		`{"arch": "Ballerino", "workload": "no-such-kernel"}`,
+		`{"arch": "Ballerino", "width": 3}`,
+		`{not json`,
+		`{"unknown_field": 1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q: status %d (%s), want 400", body, resp.StatusCode, b)
+		}
+	}
+	if got := s.submitted.Load(); got != 0 {
+		t.Errorf("invalid submissions reached the queue: %d", got)
+	}
+	if got := get404(t, ts, "/jobs/99"); got != http.StatusNotFound {
+		t.Errorf("GET /jobs/99 = %d, want 404", got)
+	}
+}
+
+func get404(t *testing.T, ts *httptest.Server, path string) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestPlaylistJobsRunInOrder: jobs submitted back-to-back (the playlist
+// shape) execute sequentially, each leaving a manifest.
+func TestPlaylistJobsRunInOrder(t *testing.T) {
+	s, ts := newTestServer(t)
+	specs := []JobSpec{
+		{Arch: "CASINO", Workload: "store-load", Ops: 5_000},
+		{Arch: "Ballerino", Workload: "store-load", Ops: 5_000},
+	}
+	var ids []int
+	for _, sp := range specs {
+		ids = append(ids, submitJob(t, ts, sp).ID)
+	}
+	for i, id := range ids {
+		job := waitForState(t, s, id, JobDone)
+		m := job.Manifest()
+		if m == nil || m.Sim.Arch != specs[i].Arch {
+			t.Fatalf("job %d manifest arch = %+v, want %s", id, m, specs[i].Arch)
+		}
+	}
+	if got := scrape(t, ts)["ballserved_jobs_completed_total"]; got != 2 {
+		t.Errorf("completed = %v, want 2", got)
+	}
+}

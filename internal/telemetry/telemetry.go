@@ -1,0 +1,393 @@
+// Package telemetry is the live observability service behind cmd/ballserved:
+// a long-running HTTP server that executes simulation jobs (submitted via
+// POST /jobs or a startup playlist) one at a time and exposes
+//
+//   - GET /metrics — Prometheus text exposition: service counters, per-job
+//     gauges (IPC, scheduler occupancy, LQ/SQ pressure, P-IQ sharing rate)
+//     and the full obs.Registry dump of the current (or most recent) job;
+//   - GET /stream — Server-Sent Events pushing every heartbeat
+//     obs.Interval live as the simulation's cycles tick, plus job
+//     lifecycle transitions;
+//   - GET /healthz, /readyz — liveness and readiness;
+//   - GET /jobs, /jobs/{id}, POST /jobs, POST /jobs/{id}/cancel — the job
+//     API (a running job cancels via the pipeline's cooperative context);
+//   - /debug/pprof/* — net/http/pprof.
+//
+// The heartbeat plumbing rides the obs.Recorder interval fan-out: every
+// hook runs on the simulation goroutine, and the liveJob/hub layers do
+// their own locking to hand snapshots to HTTP handlers, so the server is
+// race-clean under `go test -race`. Shutdown cancels the running job,
+// flushes its sinks, and disconnects every stream subscriber.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ballerino "repro"
+	"repro/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// HeartbeatCycles is the served jobs' heartbeat period in simulation
+	// cycles (0 = obs.DefaultInterval).
+	HeartbeatCycles uint64
+	// QueueDepth bounds the pending-job queue (0 = 64).
+	QueueDepth int
+}
+
+// Server executes simulation jobs and serves their live telemetry. Create
+// with NewServer, start the worker with Start, mount Handler, and stop
+// with Shutdown.
+type Server struct {
+	opts Options
+	hub  *hub
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+	queue     chan *Job
+
+	started atomic.Bool
+	ready   atomic.Bool
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+
+	mu      sync.Mutex
+	jobs    map[int]*Job
+	order   []*Job
+	nextID  int
+	current *Job     // running job, nil when idle
+	live    *liveJob // current or most recent job's live state
+}
+
+// NewServer builds a server (not yet running; call Start).
+func NewServer(opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:      opts,
+		hub:       newHub(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		queue:     make(chan *Job, opts.QueueDepth),
+		jobs:      make(map[int]*Job),
+		nextID:    1,
+	}
+}
+
+// Start launches the job worker and marks the server ready. Idempotent.
+func (s *Server) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	s.wg.Add(1)
+	go s.worker()
+	s.ready.Store(true)
+}
+
+// Shutdown gracefully stops the server: readiness drops, the running job
+// is cancelled (its recorder is flushed by the worker before it exits),
+// queued jobs are marked cancelled, and every SSE subscriber is
+// disconnected. It returns ctx.Err() if the worker does not drain in
+// time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.cancelAll()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Whatever never started is cancelled, not silently dropped.
+	for {
+		select {
+		case job := <-s.queue:
+			if job.Cancel() == JobQueued {
+				s.cancelled.Add(1)
+			}
+		default:
+			s.hub.close()
+			return err
+		}
+	}
+}
+
+// Submit validates and enqueues one job.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if !s.started.Load() || !s.ready.Load() {
+		return nil, errors.New("telemetry: server not accepting jobs")
+	}
+	if err := spec.Config().Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	job := &Job{ID: s.nextID, Spec: spec, state: JobQueued, submitted: time.Now()}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return nil, fmt.Errorf("telemetry: job queue full (%d pending)", cap(s.queue))
+	}
+	s.submitted.Add(1)
+	s.hub.publish("job", job.View(false))
+	return job, nil
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id int) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker executes queued jobs one at a time until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job: a caller-owned recorder is built with the
+// event-counting sink and an interval fan-out hook that updates the live
+// gauges and publishes to the SSE hub, then ballerino.RunContext runs
+// under the job's cancellable context. The recorder is always closed
+// (flushing any sinks) before the job reaches a terminal state.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state != JobQueued { // cancelled while waiting
+		job.mu.Unlock()
+		return
+	}
+	job.state = JobRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	live := newLiveJob(job)
+	job.live = live
+	job.mu.Unlock()
+
+	s.mu.Lock()
+	s.current = job
+	s.live = live
+	s.mu.Unlock()
+
+	rec := obs.NewRecorder(s.opts.HeartbeatCycles, &live.events)
+	rec.OnInterval(func(iv obs.Interval) {
+		// Simulation goroutine: reading the registry here is safe by the
+		// recorder's single-threaded contract, and Dump is a deep copy.
+		live.observe(iv, rec.Registry().Dump())
+		s.hub.publish("interval", streamInterval{
+			Job: job.ID, Arch: job.Spec.Arch, Workload: job.Spec.Workload,
+			IPC: iv.IPC(), Interval: iv,
+		})
+	})
+	s.hub.publish("job", job.View(false))
+
+	cfg := job.Spec.Config()
+	cfg.Recorder = rec
+	res, err := ballerino.RunContext(ctx, cfg)
+	cerr := rec.Close()
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.cancel = nil
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		job.state = JobCancelled
+		job.errMsg = err.Error()
+		s.cancelled.Add(1)
+	case err != nil:
+		job.state = JobFailed
+		job.errMsg = err.Error()
+		s.failed.Add(1)
+	default:
+		job.state = JobDone
+		job.manifest = res.Manifest
+		live.finish(res.Manifest)
+		s.completed.Add(1)
+	}
+	if cerr != nil && job.errMsg == "" {
+		job.errMsg = fmt.Sprintf("sink flush: %v", cerr)
+	}
+	job.mu.Unlock()
+
+	s.mu.Lock()
+	s.current = nil
+	s.mu.Unlock()
+	s.hub.publish("job", job.View(false))
+}
+
+// streamInterval is the SSE payload of one heartbeat.
+type streamInterval struct {
+	Job      int     `json:"job"`
+	Arch     string  `json:"arch"`
+	Workload string  `json:"workload"`
+	IPC      float64 `json:"ipc"`
+	obs.Interval
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.View(false))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View(false)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) *Job {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad job id"})
+		return nil
+	}
+	job := s.Job(id)
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no job %d", id)})
+	}
+	return job
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if job := s.jobFromPath(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.View(true))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFromPath(w, r)
+	if job == nil {
+		return
+	}
+	if prev := job.Cancel(); prev == JobQueued {
+		s.cancelled.Add(1)
+		s.hub.publish("job", job.View(false))
+	}
+	writeJSON(w, http.StatusOK, job.View(false))
+}
+
+// handleStream serves the SSE heartbeat stream. Every connected client
+// receives each interval snapshot and job transition as it is published;
+// the connection ends when the client goes away or the server shuts down.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel := s.hub.subscribe()
+	if ch == nil {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": ballserved heartbeat stream\n\n")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/check"
@@ -112,6 +113,16 @@ type Config struct {
 	// subscribes to heartbeats via Recorder.OnInterval before the run
 	// starts.
 	Recorder *obs.Recorder
+
+	// Trace, when non-nil, supplies a pre-generated dynamic μop trace
+	// (see PrepareTrace and TraceCache) and skips the trace-generation
+	// step inside RunContext — the dominant start-up cost of
+	// multi-million-μop jobs. The trace is immutable and may be shared by
+	// any number of concurrent runs; it must have been prepared for an
+	// identical (workload or custom program, footprint, warm-up + μop
+	// budget) tuple or Validate fails. Results are byte-identical to an
+	// inline-generated run.
+	Trace *Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -168,40 +179,63 @@ func (e *SimError) Unwrap() error { return e.Err }
 // runnable. Run calls it first; every failure is a *SimError with Stage
 // "config" and a message naming the offending field and the valid values.
 func (c Config) Validate() error {
-	c = c.withDefaults()
+	_, err := c.resolve()
+	return err
+}
+
+// resolved is a defaulted, validated Config plus the artefacts validation
+// produces anyway — the parsed fault plan and the DVFS operating point —
+// so RunContext never parses either a second time.
+type resolved struct {
+	Config
+	plan  faults.Plan
+	level config.DVFSLevel
+}
+
+// resolve defaults and validates c once, retaining the fault plan and
+// DVFS level it had to compute along the way.
+func (c Config) resolve() (resolved, error) {
+	rc := resolved{Config: c.withDefaults()}
 	fail := func(format string, args ...any) error {
-		return &SimError{Stage: "config", Arch: c.Arch, Workload: c.Workload,
+		return &SimError{Stage: "config", Arch: rc.Arch, Workload: rc.Workload,
 			Err: fmt.Errorf(format, args...)}
 	}
-	if !slices.Contains(Architectures(), c.Arch) {
-		return fail("unknown architecture %q (valid: %v)", c.Arch, Architectures())
+	if !slices.Contains(Architectures(), rc.Arch) {
+		return rc, fail("unknown architecture %q (valid: %v)", rc.Arch, Architectures())
 	}
-	if c.Width != 2 && c.Width != 4 && c.Width != 8 && c.Width != 10 {
-		return fail("unsupported issue width %d (valid: 2, 4, 8, 10)", c.Width)
+	if rc.Width != 2 && rc.Width != 4 && rc.Width != 8 && rc.Width != 10 {
+		return rc, fail("unsupported issue width %d (valid: 2, 4, 8, 10)", rc.Width)
 	}
-	if c.Custom == nil && !slices.Contains(Workloads(), c.Workload) &&
-		!slices.Contains(ExtraWorkloads(), c.Workload) {
-		return fail("unknown workload %q (valid: %v, extras: %v)", c.Workload, Workloads(), ExtraWorkloads())
+	if rc.Custom == nil && !kernelSet()[rc.Workload] {
+		return rc, fail("unknown workload %q (valid: %v, extras: %v)", rc.Workload, Workloads(), ExtraWorkloads())
 	}
-	if c.MaxOps < 0 {
-		return fail("MaxOps %d must not be negative", c.MaxOps)
+	if rc.MaxOps < 0 {
+		return rc, fail("MaxOps %d must not be negative", rc.MaxOps)
 	}
-	if c.WarmupOps < 0 {
-		return fail("WarmupOps %d must not be negative", c.WarmupOps)
+	if rc.WarmupOps < 0 {
+		return rc, fail("WarmupOps %d must not be negative", rc.WarmupOps)
 	}
-	if c.FootprintBytes < 0 {
-		return fail("FootprintBytes %d must not be negative", c.FootprintBytes)
+	if rc.FootprintBytes < 0 {
+		return rc, fail("FootprintBytes %d must not be negative", rc.FootprintBytes)
 	}
-	if err := (config.Options{NumPIQs: c.NumPIQs, PIQDepth: c.PIQDepth}).Validate(); err != nil {
-		return fail("%v", err)
+	if err := (config.Options{NumPIQs: rc.NumPIQs, PIQDepth: rc.PIQDepth}).Validate(); err != nil {
+		return rc, fail("%v", err)
 	}
-	if _, err := dvfsLevel(c.DVFS); err != nil {
-		return fail("%v", err)
+	level, err := dvfsLevel(rc.DVFS)
+	if err != nil {
+		return rc, fail("%v", err)
 	}
-	if _, err := faults.Parse(c.FaultSpec); err != nil {
-		return fail("%v", err)
+	rc.level = level
+	plan, err := faults.Parse(rc.FaultSpec)
+	if err != nil {
+		return rc, fail("%v", err)
 	}
-	return nil
+	rc.plan = plan
+	if rc.Trace != nil && rc.Trace.key != traceKey(rc.Config) {
+		return rc, fail("pre-generated trace was prepared for %q, not this configuration (%q)",
+			rc.Trace.key, traceKey(rc.Config))
+	}
+	return rc, nil
 }
 
 // DelayBreakdown is the average decode-to-issue delay of one instruction
@@ -281,12 +315,55 @@ func Architectures() []string {
 // sizing, and listing must stay cheap enough for Config.Validate to call.
 var listParams = workload.Params{Footprint: 1 << 12}
 
+// Kernel describes one runnable synthetic kernel: its name, its broad
+// behaviour class, the SPEC application behaviour it stands in for, and
+// whether it belongs to the extras set (runnable by name but excluded
+// from the calibrated figure suite).
+type Kernel struct {
+	Name    string
+	Kind    string // "memory-bound", "compute-bound", "branchy", "mixed"
+	Emulate string
+	Extra   bool
+}
+
+// kernelList builds the kernel catalogue exactly once: listing used to
+// rebuild every kernel program on each call (and Validate listed per
+// run), which is pure waste — names and metadata never change.
+var kernelList = sync.OnceValue(func() []Kernel {
+	var ks []Kernel
+	for _, w := range workload.All(listParams) {
+		ks = append(ks, Kernel{Name: w.Name, Kind: w.Kind, Emulate: w.Emulate})
+	}
+	for _, w := range workload.Extras(listParams) {
+		ks = append(ks, Kernel{Name: w.Name, Kind: w.Kind, Emulate: w.Emulate, Extra: true})
+	}
+	return ks
+})
+
+// kernelSet is the constant-time name membership check behind Validate.
+var kernelSet = sync.OnceValue(func() map[string]bool {
+	set := make(map[string]bool)
+	for _, k := range kernelList() {
+		set[k.Name] = true
+	}
+	return set
+})
+
+// Kernels lists every runnable kernel — the standard figure suite first,
+// then the extras (Extra = true) — with its metadata. The returned slice
+// is the caller's to mutate.
+func Kernels() []Kernel {
+	return slices.Clone(kernelList())
+}
+
 // Workloads lists the standard synthetic kernel suite (the set every
 // figure-level experiment averages over).
 func Workloads() []string {
 	var names []string
-	for _, w := range workload.All(listParams) {
-		names = append(names, w.Name)
+	for _, k := range kernelList() {
+		if !k.Extra {
+			names = append(names, k.Name)
+		}
 	}
 	return names
 }
@@ -296,8 +373,10 @@ func Workloads() []string {
 // butterflies).
 func ExtraWorkloads() []string {
 	var names []string
-	for _, w := range workload.Extras(listParams) {
-		names = append(names, w.Name)
+	for _, k := range kernelList() {
+		if k.Extra {
+			names = append(names, k.Name)
+		}
 	}
 	return names
 }
@@ -317,7 +396,8 @@ func Run(cfg Config) (*Result, error) {
 // artifacts on disk.
 func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	start := time.Now()
-	cfg = cfg.withDefaults()
+	rc, rerr := cfg.resolve()
+	cfg = rc.Config
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -325,8 +405,8 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 				Err: fmt.Errorf("recovered panic: %v", r)}
 		}
 	}()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+	if rerr != nil {
+		return nil, rerr
 	}
 	// simErr wraps a failure, pulling the cycle and the machine-state
 	// autopsy out of the typed pipeline errors when present. Cancellation
@@ -352,17 +432,31 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		return se
 	}
 
-	var program *prog.Program
-	if cfg.Custom != nil {
-		program = cfg.Custom.Internal()
-		cfg.Workload = program.Name
+	// Trace acquisition. A pre-generated Config.Trace (PrepareTrace, or the
+	// shared cache under RunAll) is used as-is — it is immutable and safe to
+	// share across concurrent runs. Otherwise the trace is generated here;
+	// generation dominates start-up for multi-million-μop jobs, so it
+	// honours ctx too: a served job cancelled while still generating aborts
+	// instead of waiting out the interpreter.
+	var trace *prog.Trace
+	if cfg.Trace != nil {
+		trace = cfg.Trace.tr
 	} else {
-		w, err := workload.ByName(cfg.Workload, workload.Params{Footprint: cfg.FootprintBytes})
-		if err != nil {
-			return nil, simErr("config", err)
+		program, perr := resolveProgram(rc.Config)
+		if perr != nil {
+			return nil, simErr("config", perr)
 		}
-		program = w.Program
+		var terr error
+		trace, terr = generateTrace(ctx, program, rc.Config)
+		if terr != nil {
+			return nil, simErr("trace", terr)
+		}
 	}
+	program := trace.Program
+	if cfg.Custom != nil {
+		cfg.Workload = program.Name
+	}
+
 	m, err := config.NewMachine(config.Arch(cfg.Arch), cfg.Width, config.Options{
 		NumPIQs:    cfg.NumPIQs,
 		PIQDepth:   cfg.PIQDepth,
@@ -372,18 +466,8 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	if err != nil {
 		return nil, simErr("config", err)
 	}
-	level, err := dvfsLevel(cfg.DVFS)
-	if err != nil {
-		return nil, simErr("config", err)
-	}
+	level := rc.level
 
-	// Trace generation dominates start-up for multi-million-μop jobs, so it
-	// honours ctx too: a served job cancelled while still generating aborts
-	// here instead of waiting out the interpreter.
-	trace, terr := prog.ExecuteContext(ctx, program, cfg.MaxOps+cfg.WarmupOps)
-	if terr != nil && !errors.Is(terr, prog.ErrFuel) {
-		return nil, simErr("trace", terr)
-	}
 	p, err := pipeline.New(m.Pipeline, trace.Ops, m.Factory)
 	if err != nil {
 		return nil, simErr("config", err)
@@ -397,8 +481,8 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		p.OnCommit = func(u *sched.UOp) { replay.Apply(u.D) }
 	}
 	var injector *faults.Injector
-	if plan, _ := faults.Parse(cfg.FaultSpec); plan.Active() {
-		injector, err = faults.New(plan)
+	if rc.plan.Active() {
+		injector, err = faults.New(rc.plan)
 		if err != nil {
 			return nil, simErr("config", err)
 		}

@@ -1,0 +1,191 @@
+package ballerino
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// normalizeManifest zeroes the wall-time identity fields — the only
+// fields allowed to differ between a sequential and a parallel campaign.
+func normalizeManifest(t *testing.T, m *obs.Manifest) []byte {
+	t.Helper()
+	if m == nil {
+		t.Fatal("run has no manifest")
+	}
+	c := *m
+	c.CreatedAt = ""
+	c.WallSeconds = 0
+	c.Hostname = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func batchConfigs() []Config {
+	var cfgs []Config
+	for _, arch := range []string{"InO", "OoO", "Ballerino"} {
+		for _, wl := range []string{"stream", "store-load"} {
+			cfgs = append(cfgs, Config{Arch: arch, Workload: wl, MaxOps: 12_000, WarmupOps: 1_000})
+		}
+	}
+	return cfgs
+}
+
+// TestRunAllDeterministicManifests is the batch API's core guarantee: a
+// campaign at parallelism 4 (with trace sharing) produces byte-identical
+// manifests to the same campaign at parallelism 1 with the cache off,
+// modulo wall-time fields.
+func TestRunAllDeterministicManifests(t *testing.T) {
+	cfgs := batchConfigs()
+	seq := RunAll(context.Background(), cfgs, BatchOptions{Parallelism: 1, DisableTraceCache: true})
+	par := RunAll(context.Background(), cfgs, BatchOptions{Parallelism: 4})
+	if err := seq.FirstErr(); err != nil {
+		t.Fatalf("sequential campaign: %v", err)
+	}
+	if err := par.FirstErr(); err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+	for i := range cfgs {
+		sb := normalizeManifest(t, seq.Results[i].Result.Manifest)
+		pb := normalizeManifest(t, par.Results[i].Result.Manifest)
+		if string(sb) != string(pb) {
+			t.Errorf("slot %d (%s/%s): parallel manifest differs from sequential:\nseq: %s\npar: %s",
+				i, cfgs[i].Arch, cfgs[i].Workload, sb, pb)
+		}
+	}
+}
+
+// TestRunAllCacheCounters: a campaign of N runs over K distinct kernels
+// generates exactly K traces; every other lookup is a hit or a
+// singleflight join, and the counters in the batch expose that.
+func TestRunAllCacheCounters(t *testing.T) {
+	cfgs := batchConfigs() // 6 runs over 2 distinct kernels
+	b := RunAll(context.Background(), cfgs, BatchOptions{Parallelism: 4})
+	if err := b.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Cache
+	if st.Misses != 2 {
+		t.Errorf("trace generations = %d, want 2 (one per distinct kernel)", st.Misses)
+	}
+	if st.Hits+st.Joins != uint64(len(cfgs))-st.Misses {
+		t.Errorf("hits %d + joins %d != %d lookups - %d misses",
+			st.Hits, st.Joins, len(cfgs), st.Misses)
+	}
+	if st.Entries != 2 || st.BytesUsed <= 0 {
+		t.Errorf("entries/bytes = %d/%d, want 2 entries with positive residency", st.Entries, st.BytesUsed)
+	}
+}
+
+// TestRunAllErrorIsolation: a failing slot carries its *SimError; its
+// neighbours complete untouched.
+func TestRunAllErrorIsolation(t *testing.T) {
+	cfgs := []Config{
+		{Arch: "Ballerino", Workload: "stream", MaxOps: 8_000},
+		{Arch: "NoSuchArch", Workload: "stream", MaxOps: 8_000},
+		{Arch: "OoO", Workload: "stream", MaxOps: 8_000},
+	}
+	b := RunAll(context.Background(), cfgs, BatchOptions{Parallelism: 2})
+	if b.Results[0].Err != nil || b.Results[2].Err != nil {
+		t.Fatalf("healthy slots failed: %v / %v", b.Results[0].Err, b.Results[2].Err)
+	}
+	var se *SimError
+	if !errors.As(b.Results[1].Err, &se) || se.Stage != "config" {
+		t.Fatalf("bad slot error = %v, want *SimError stage config", b.Results[1].Err)
+	}
+	if b.Results[1].Result != nil {
+		t.Error("failed slot has a non-nil result")
+	}
+}
+
+// TestRunAllCancel: cancelling the campaign context yields "canceled"
+// *SimErrors in the unfinished slots and the result slice stays fully
+// populated and ordered.
+func TestRunAllCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before dispatch: every slot must report it
+	cfgs := batchConfigs()
+	b := RunAll(ctx, cfgs, BatchOptions{Parallelism: 4})
+	if len(b.Results) != len(cfgs) {
+		t.Fatalf("got %d results, want %d", len(b.Results), len(cfgs))
+	}
+	for i, rr := range b.Results {
+		var se *SimError
+		if !errors.As(rr.Err, &se) || se.Stage != "canceled" {
+			t.Errorf("slot %d: err = %v, want *SimError stage canceled", i, rr.Err)
+		}
+		if !errors.Is(rr.Err, context.Canceled) {
+			t.Errorf("slot %d: error does not unwrap to context.Canceled", i)
+		}
+	}
+}
+
+// TestPrepareTraceInjection: a run fed a PrepareTrace trace equals an
+// inline-generated run bit for bit, and a trace prepared for a different
+// configuration is rejected at Validate.
+func TestPrepareTraceInjection(t *testing.T) {
+	cfg := Config{Arch: "CASINO", Workload: "branchy", MaxOps: 10_000}
+	tr, err := PrepareTrace(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ops() != 10_000 || tr.Workload() != "branchy" {
+		t.Fatalf("trace ops/workload = %d/%s", tr.Ops(), tr.Workload())
+	}
+
+	inline, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := cfg
+	injected.Trace = tr
+	shared, err := Run(injected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(normalizeManifest(t, inline.Manifest)) != string(normalizeManifest(t, shared.Manifest)) {
+		t.Error("injected-trace manifest differs from inline-generated run")
+	}
+
+	// Same trace, wrong budget: Validate must refuse it.
+	wrong := cfg
+	wrong.MaxOps = 20_000
+	wrong.Trace = tr
+	var se *SimError
+	if err := wrong.Validate(); !errors.As(err, &se) || se.Stage != "config" {
+		t.Fatalf("mismatched trace: Validate = %v, want config *SimError", err)
+	}
+}
+
+// TestKernels: the catalogue matches the two name lists, carries the
+// Extra tag, and repeated calls do not share backing storage.
+func TestKernels(t *testing.T) {
+	ks := Kernels()
+	var std, extra int
+	for _, k := range ks {
+		if k.Name == "" || k.Kind == "" || k.Emulate == "" {
+			t.Errorf("kernel %+v has empty metadata", k)
+		}
+		if k.Extra {
+			extra++
+		} else {
+			std++
+		}
+	}
+	if wls := Workloads(); len(wls) != std {
+		t.Errorf("Workloads() has %d names, catalogue has %d standard kernels", len(wls), std)
+	}
+	if ex := ExtraWorkloads(); len(ex) != extra {
+		t.Errorf("ExtraWorkloads() has %d names, catalogue has %d extras", len(ex), extra)
+	}
+	ks[0].Name = "mutated"
+	if Kernels()[0].Name == "mutated" {
+		t.Error("Kernels() returns shared backing storage")
+	}
+}

@@ -51,6 +51,7 @@ func run() int {
 		playlist = flag.String("playlist", "", "JSON file of job specs to enqueue at startup")
 		interval = flag.Uint64("interval", 0, "heartbeat interval in cycles (0 = 10000)")
 		queue    = flag.Int("queue", 0, "pending-job queue depth (0 = 64)")
+		workers  = flag.Int("workers", 1, "jobs executed concurrently (traces are shared across workers)")
 		grace    = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -67,6 +68,7 @@ func run() int {
 	srv := telemetry.NewServer(telemetry.Options{
 		HeartbeatCycles: *interval,
 		QueueDepth:      *queue,
+		Workers:         *workers,
 	})
 	srv.Start()
 	for i, spec := range specs {

@@ -49,6 +49,7 @@ func run() int {
 		inject  = flag.String("inject", "", "inject deterministic timing faults, e.g. seed=1,jitter=8,flush=2000,squeeze=50,mdp=100")
 		list    = flag.Bool("list", false, "list architectures and workloads")
 		compare = flag.Bool("compare", false, "run every architecture on every kernel")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight for -compare (1 = sequential)")
 		verbose = flag.Bool("v", false, "print scheduler counters and energy breakdown")
 
 		trace    = flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
@@ -121,7 +122,7 @@ func run() int {
 	defer stopSignals()
 
 	if *compare {
-		return runCompare(ctx, *width, *ops, *foot, *jsonOut)
+		return runCompare(ctx, *width, *ops, *foot, *par, *jsonOut)
 	}
 
 	res, err := ballerino.RunContext(ctx, ballerino.Config{
@@ -213,26 +214,38 @@ func run() int {
 	return 0
 }
 
-func runCompare(ctx context.Context, width, ops int, foot int64, jsonOut bool) int {
+func runCompare(ctx context.Context, width, ops int, foot int64, par int, jsonOut bool) int {
 	archs := ballerino.Architectures()
 	wls := ballerino.Workloads()
 
+	// One campaign over the whole grid: each kernel's trace is generated
+	// once and shared by every architecture. Results arrive in grid order
+	// (arch-major), so slot a*len(wls)+w is architecture a on kernel w.
+	var cfgs []ballerino.Config
+	for _, a := range archs {
+		for _, w := range wls {
+			cfgs = append(cfgs, ballerino.Config{
+				Arch: a, Width: width, Workload: w,
+				FootprintBytes: foot, MaxOps: ops,
+			})
+		}
+	}
+	batch := ballerino.RunAll(ctx, cfgs, ballerino.BatchOptions{Parallelism: par})
+	slot := func(a, w int) *ballerino.RunResult { return &batch.Results[a*len(wls)+w] }
+
 	if jsonOut {
 		var manifests []*obs.Manifest
-		for _, a := range archs {
-			for _, w := range wls {
-				res, err := ballerino.RunContext(ctx, ballerino.Config{
-					Arch: a, Width: width, Workload: w,
-					FootprintBytes: foot, MaxOps: ops,
-				})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					if errors.Is(err, context.Canceled) {
+		for i := range archs {
+			for j := range wls {
+				rr := slot(i, j)
+				if rr.Err != nil {
+					fmt.Fprintln(os.Stderr, rr.Err)
+					if errors.Is(rr.Err, context.Canceled) {
 						return 130
 					}
 					continue
 				}
-				manifests = append(manifests, res.Manifest)
+				manifests = append(manifests, rr.Result.Manifest)
 			}
 		}
 		b, err := json.MarshalIndent(manifests, "", "  ")
@@ -251,23 +264,21 @@ func runCompare(ctx context.Context, width, ops int, foot int64, jsonOut bool) i
 	}
 	fmt.Fprintf(tw, "\tGEOMEAN\n")
 	base := map[string]float64{}
-	for _, a := range archs {
+	for i, a := range archs {
 		fmt.Fprintf(tw, "%s", a)
 		var ipcs []float64
-		for _, w := range wls {
-			res, err := ballerino.RunContext(ctx, ballerino.Config{
-				Arch: a, Width: width, Workload: w,
-				FootprintBytes: foot, MaxOps: ops,
-			})
-			if err != nil {
+		for j, w := range wls {
+			rr := slot(i, j)
+			if rr.Err != nil {
 				fmt.Fprintf(tw, "\tERR")
-				fmt.Fprintln(os.Stderr, err)
-				if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, rr.Err)
+				if errors.Is(rr.Err, context.Canceled) {
 					tw.Flush()
 					return 130
 				}
 				continue
 			}
+			res := rr.Result
 			if a == "InO" {
 				base[w] = res.IPC
 			}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"text/tabwriter"
 
@@ -48,13 +49,14 @@ func run() int {
 		enTh    = flag.Float64("energy", 0, "max tolerated relative energy increase (0 disables)")
 		cycTh   = flag.Float64("cycles", 0, "max tolerated relative cycle increase (0 disables)")
 		jsonOut = flag.Bool("json", false, "print the comparison report as JSON")
+		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "runs in flight at once for -emit (1 = sequential)")
 	)
 	flag.Parse()
 
 	if *emit {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		tr, err := bench.Collect(ctx, bench.DefaultConfigs(), *n)
+		tr, err := bench.Collect(ctx, bench.DefaultConfigs(), *n, *par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2

@@ -48,10 +48,11 @@ func main() {
 		figs = flag.String("fig", "all", "comma-separated figure ids (3c,4,6a,6b,11,12,13,14,15,16,17a,17b,17c,mdp,ablations,casino-search,tables) or 'all'")
 		ops  = flag.Int("ops", 150_000, "dynamic μops per simulation")
 		wls  = flag.String("workloads", "", "comma-separated kernel subset (default all)")
+		par  = flag.Int("parallel", 0, "simulations in flight per figure (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	o := exp.Options{Ops: *ops}
+	o := exp.Options{Ops: *ops, Parallelism: *par}
 	if *wls != "" {
 		o.Workloads = strings.Split(*wls, ",")
 	}

@@ -6,17 +6,20 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro"
 )
@@ -32,6 +35,7 @@ func run() int {
 		wls    = flag.String("workloads", strings.Join(ballerino.Workloads(), ","), "workload kernels")
 		ops    = flag.Int("ops", 100_000, "μops per simulation")
 		warm   = flag.Int("warmup", 0, "warm-up μops before measurement")
+		par    = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight at once (1 = sequential)")
 
 		traceDir   = flag.String("trace", "", "directory for per-run Chrome trace_event JSON files")
 		metricsDir = flag.String("metrics", "", "directory for per-run interval-metrics CSV files")
@@ -95,6 +99,10 @@ func run() int {
 		"mispredict_rate", "violations", "energy_pj", "edp", "efficiency",
 	})
 
+	// Build the whole grid up front, then run it as one campaign: traces
+	// are shared across architectures and widths, and -parallel bounds the
+	// worker pool. Row order matches the old sequential loop exactly.
+	var cfgs []ballerino.Config
 	for _, arch := range strings.Split(*archs, ",") {
 		for _, ws := range strings.Split(*widths, ",") {
 			width, err := strconv.Atoi(strings.TrimSpace(ws))
@@ -118,27 +126,33 @@ func run() int {
 				if *metricsDir != "" {
 					cfg.MetricsPath = filepath.Join(*metricsDir, stem+".csv")
 				}
-				res, err := ballerino.Run(cfg)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					return 1
-				}
-				w.Write([]string{
-					res.Arch,
-					strconv.Itoa(res.Width),
-					res.Workload,
-					strconv.FormatUint(res.Committed, 10),
-					strconv.FormatUint(res.Cycles, 10),
-					fmt.Sprintf("%.4f", res.IPC),
-					fmt.Sprintf("%.4f", res.MispredictRate),
-					strconv.FormatUint(res.Violations, 10),
-					fmt.Sprintf("%.0f", res.EnergyPJ),
-					fmt.Sprintf("%.6g", res.EDP),
-					fmt.Sprintf("%.6g", res.Efficiency),
-				})
-				w.Flush()
+				cfgs = append(cfgs, cfg)
 			}
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	batch := ballerino.RunAll(ctx, cfgs, ballerino.BatchOptions{Parallelism: *par})
+	for _, rr := range batch.Results {
+		if rr.Err != nil {
+			fmt.Fprintln(os.Stderr, rr.Err)
+			return 1
+		}
+		res := rr.Result
+		w.Write([]string{
+			res.Arch,
+			strconv.Itoa(res.Width),
+			res.Workload,
+			strconv.FormatUint(res.Committed, 10),
+			strconv.FormatUint(res.Cycles, 10),
+			fmt.Sprintf("%.4f", res.IPC),
+			fmt.Sprintf("%.4f", res.MispredictRate),
+			strconv.FormatUint(res.Violations, 10),
+			fmt.Sprintf("%.0f", res.EnergyPJ),
+			fmt.Sprintf("%.6g", res.EDP),
+			fmt.Sprintf("%.6g", res.Efficiency),
+		})
 	}
 	return 0
 }

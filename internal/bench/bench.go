@@ -80,24 +80,38 @@ func DefaultConfigs() []Config {
 }
 
 // Collect runs every configuration n times and returns the trajectory.
-// The context cancels mid-sweep (the partial trajectory is discarded).
-func Collect(ctx context.Context, cfgs []Config, n int) (*Trajectory, error) {
+// parallelism bounds the runs in flight (0 = GOMAXPROCS, 1 = strictly
+// sequential); all n×len(cfgs) runs form one campaign sharing a trace
+// cache, and samples land in the same deterministic order at every
+// setting. The context cancels mid-sweep (the partial trajectory is
+// discarded).
+func Collect(ctx context.Context, cfgs []Config, n, parallelism int) (*Trajectory, error) {
 	if n <= 0 {
 		n = 1
 	}
+	// Flatten to n×len(cfgs) jobs: repetition i of point p sits at slot
+	// p*n+i, so regrouping below is a deterministic reshape.
+	runs := make([]ballerino.Config, 0, len(cfgs)*n)
+	for _, c := range cfgs {
+		for i := 0; i < n; i++ {
+			runs = append(runs, ballerino.Config{
+				Arch: c.Arch, Workload: c.Workload, Width: c.Width, MaxOps: c.Ops,
+			})
+		}
+	}
+	batch := ballerino.RunAll(ctx, runs, ballerino.BatchOptions{Parallelism: parallelism})
 	tr := &Trajectory{
 		Schema:      Schema,
 		GitRevision: obs.GitRevision(),
 	}
-	for _, c := range cfgs {
+	for p, c := range cfgs {
 		pt := Point{Arch: c.Arch, Workload: c.Workload, Width: c.Width, Ops: c.Ops}
 		for i := 0; i < n; i++ {
-			res, err := ballerino.RunContext(ctx, ballerino.Config{
-				Arch: c.Arch, Workload: c.Workload, Width: c.Width, MaxOps: c.Ops,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s run %d: %w", pt.Key(), i+1, err)
+			rr := batch.Results[p*n+i]
+			if rr.Err != nil {
+				return nil, fmt.Errorf("bench: %s run %d: %w", pt.Key(), i+1, rr.Err)
 			}
+			res := rr.Result
 			pt.Samples = append(pt.Samples, Sample{
 				IPC:         res.IPC,
 				EnergyPJ:    res.EnergyPJ,

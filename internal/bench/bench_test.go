@@ -174,7 +174,7 @@ func TestParseManifestShapes(t *testing.T) {
 // repetitions (wall time aside), the property the CI gate relies on.
 func TestCollectDeterministic(t *testing.T) {
 	cfgs := []Config{{Arch: "Ballerino", Workload: "store-load", Width: 8, Ops: 5_000}}
-	tr, err := Collect(context.Background(), cfgs, 3)
+	tr, err := Collect(context.Background(), cfgs, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestCollectDeterministic(t *testing.T) {
 func TestCollectCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := Collect(ctx, DefaultConfigs(), 1); err == nil {
+	if _, err := Collect(ctx, DefaultConfigs(), 1, 0); err == nil {
 		t.Error("cancelled Collect returned nil error")
 	}
 }

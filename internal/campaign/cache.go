@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of a Cache's behaviour. Hits,
+// Joins and Misses partition the Get calls: a Hit found a ready value, a
+// Join waited on another caller's in-flight generation, and a Miss ran
+// the generator itself.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Joins     uint64
+	Evictions uint64
+
+	Entries     int
+	BytesUsed   int64
+	BytesBudget int64 // 0 = unbounded
+}
+
+// Cache is a content-keyed, singleflight-deduplicated cache of immutable
+// values with an LRU byte budget. Concurrent Gets for one key share a
+// single generation; values are never copied, so they must be treated as
+// read-only by every holder. Eviction only drops the cache's reference —
+// holders of an evicted value keep using it safely.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used
+	entries map[string]*cacheEntry[V]
+	stats   CacheStats
+}
+
+type cacheEntry[V any] struct {
+	key   string
+	ready chan struct{} // closed when val/err are set
+	val   V
+	err   error
+	bytes int64
+	elem  *list.Element // nil while generation is in flight
+}
+
+// NewCache builds a cache with the given byte budget (0 or negative =
+// unbounded).
+func NewCache[V any](budgetBytes int64) *Cache[V] {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	return &Cache[V]{
+		budget:  budgetBytes,
+		ll:      list.New(),
+		entries: make(map[string]*cacheEntry[V]),
+	}
+}
+
+// Get returns the value for key, generating it with gen on a miss. gen
+// reports the value's byte cost for the LRU budget. Errors are not
+// cached: every waiter of a failed generation receives the error, the
+// entry is dropped, and the next Get retries. A waiter whose own context
+// is still live when the generating caller was cancelled retries the
+// generation itself instead of inheriting the foreign cancellation.
+func (c *Cache[V]) Get(ctx context.Context, key string, gen func(context.Context) (V, int64, error)) (V, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					c.stats.Hits++
+					c.touch(e)
+					c.mu.Unlock()
+					return e.val, nil
+				}
+				// A failed entry still in the map is being torn down by its
+				// generator; drop our reference and retry below.
+				c.mu.Unlock()
+			default:
+				c.stats.Joins++
+				c.mu.Unlock()
+				select {
+				case <-e.ready:
+					if e.err == nil {
+						return e.val, nil
+					}
+					if isCtxErr(e.err) && ctx.Err() == nil {
+						continue // leader cancelled, we were not: retry
+					}
+					return e.val, e.err
+				case <-ctx.Done():
+					var zero V
+					return zero, ctx.Err()
+				}
+			}
+			continue
+		}
+		e := &cacheEntry[V]{key: key, ready: make(chan struct{})}
+		c.entries[key] = e
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		v, bytes, err := gen(ctx)
+		c.mu.Lock()
+		e.val, e.err, e.bytes = v, err, bytes
+		if err != nil {
+			delete(c.entries, key)
+		} else {
+			e.elem = c.ll.PushFront(e)
+			c.used += bytes
+			c.evictLocked(e)
+		}
+		c.mu.Unlock()
+		close(e.ready)
+		return v, err
+	}
+}
+
+// touch marks e most recently used. Caller holds mu.
+func (c *Cache[V]) touch(e *cacheEntry[V]) {
+	if e.elem != nil {
+		c.ll.MoveToFront(e.elem)
+	}
+}
+
+// evictLocked drops least-recently-used ready entries until the budget is
+// met, never evicting keep (the just-inserted entry may legitimately
+// exceed the whole budget on its own). Caller holds mu.
+func (c *Cache[V]) evictLocked(keep *cacheEntry[V]) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry[V])
+		if e == keep {
+			return
+		}
+		c.ll.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.used -= e.bytes
+		c.stats.Evictions++
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.BytesUsed = c.used
+	s.BytesBudget = c.budget
+	return s
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

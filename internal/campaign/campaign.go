@@ -1,0 +1,76 @@
+// Package campaign is the parallel run engine under the public batch API
+// (ballerino.RunAll): a bounded worker pool executing independent jobs
+// with cooperative cancellation, deterministic result ordering and
+// per-job error isolation, plus a content-keyed, singleflight-deduplicated
+// LRU cache that lets N jobs over the same input share one expensive
+// generation step (the μop trace).
+//
+// The engine is deliberately generic — it knows nothing about simulations.
+// Everything a job shares (a cached trace, a config table) must be safe
+// for concurrent readers; the pool guarantees only that each job runs at
+// most once and that outcome i belongs to job i.
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one unit of campaign work, executed on a worker goroutine.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Outcome is one job's result, reported in the job's submission slot
+// regardless of completion order.
+type Outcome[T any] struct {
+	Value T
+	Err   error
+}
+
+// Run executes jobs on at most parallelism concurrent workers (0 or
+// negative selects GOMAXPROCS) and returns one Outcome per job, in
+// submission order. A failed job records its error in-slot and the
+// campaign continues. Cancelling ctx stops claiming new jobs — in-flight
+// jobs see the cancelled ctx and wind down cooperatively — and every
+// unstarted job reports ctx.Err() in its slot.
+func Run[T any](ctx context.Context, parallelism int, jobs []Job[T]) []Outcome[T] {
+	out := make([]Outcome[T], len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(jobs) {
+				return
+			}
+			// A claimed-but-unstarted job under a dead context reports the
+			// cancellation instead of running: the campaign drains quickly
+			// and no slot is left silently zero.
+			if err := ctx.Err(); err != nil {
+				out[i] = Outcome[T]{Err: err}
+				continue
+			}
+			v, err := jobs[i](ctx)
+			out[i] = Outcome[T]{Value: v, Err: err}
+		}
+	}
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,278 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOrderingAndIsolation: outcomes land in submission order, a failed
+// job only poisons its own slot, and every job runs exactly once.
+func TestRunOrderingAndIsolation(t *testing.T) {
+	const n = 64
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			ran.Add(1)
+			if i%7 == 3 {
+				return 0, fmt.Errorf("job %d: %w", i, boom)
+			}
+			return i * i, nil
+		}
+	}
+	out := Run(context.Background(), 8, jobs)
+	if len(out) != n {
+		t.Fatalf("got %d outcomes, want %d", len(out), n)
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d jobs, want %d", got, n)
+	}
+	for i, o := range out {
+		if i%7 == 3 {
+			if !errors.Is(o.Err, boom) {
+				t.Errorf("slot %d: err = %v, want boom", i, o.Err)
+			}
+			continue
+		}
+		if o.Err != nil || o.Value != i*i {
+			t.Errorf("slot %d: (%d, %v), want (%d, nil)", i, o.Value, o.Err, i*i)
+		}
+	}
+}
+
+// TestRunSaturation: no more than parallelism jobs run at once, and all of
+// them run even when the job count far exceeds the pool.
+func TestRunSaturation(t *testing.T) {
+	const par, n = 4, 100
+	var inflight, peak, total atomic.Int64
+	jobs := make([]Job[struct{}], n)
+	for i := range jobs {
+		jobs[i] = func(context.Context) (struct{}, error) {
+			cur := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			inflight.Add(-1)
+			total.Add(1)
+			return struct{}{}, nil
+		}
+	}
+	Run(context.Background(), par, jobs)
+	if got := peak.Load(); got > par {
+		t.Errorf("peak concurrency %d exceeds parallelism %d", got, par)
+	}
+	if got := total.Load(); got != n {
+		t.Errorf("completed %d jobs, want %d", got, n)
+	}
+}
+
+// TestRunCancelMidCampaign: cancelling the context mid-campaign stops new
+// dispatch; unstarted jobs report the context error in-slot, and the
+// outcome slice stays fully populated.
+func TestRunCancelMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 50
+	release := make(chan struct{})
+	var started atomic.Int64
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (int, error) {
+			started.Add(1)
+			select {
+			case <-release:
+				return i, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+	}
+	go func() {
+		for started.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		close(release)
+	}()
+	out := Run(ctx, 2, jobs)
+	var ok, cancelled int
+	for i, o := range out {
+		switch {
+		case o.Err == nil:
+			ok++
+		case errors.Is(o.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Errorf("slot %d: unexpected error %v", i, o.Err)
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no slot reported the cancellation")
+	}
+	if ok+cancelled != n {
+		t.Errorf("ok %d + cancelled %d != %d", ok, cancelled, n)
+	}
+}
+
+// TestCacheSingleflight: concurrent Gets for one key run the generator
+// once; everyone shares the identical value and the hit/join/miss
+// counters partition the calls.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[*int](0)
+	var gens atomic.Int64
+	gate := make(chan struct{})
+	gen := func(context.Context) (*int, int64, error) {
+		gens.Add(1)
+		<-gate
+		v := 42
+		return &v, 8, nil
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	vals := make([]*int, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Get(context.Background(), "k", gen)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			vals[i] = v
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let callers pile onto the flight
+	close(gate)
+	wg.Wait()
+	if got := gens.Load(); got != 1 {
+		t.Fatalf("generator ran %d times, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("caller %d got a different pointer", i)
+		}
+	}
+	// A later Get is a plain hit.
+	if _, err := c.Get(context.Background(), "k", gen); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Joins != callers {
+		t.Errorf("hits %d + joins %d = %d, want %d", st.Hits, st.Joins, st.Hits+st.Joins, callers)
+	}
+	if st.BytesUsed != 8 || st.Entries != 1 {
+		t.Errorf("bytes/entries = %d/%d, want 8/1", st.BytesUsed, st.Entries)
+	}
+}
+
+// TestCacheErrorNotCached: a failed generation propagates to its waiters
+// but is retried by the next Get.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache[int](0)
+	calls := 0
+	gen := func(context.Context) (int, int64, error) {
+		calls++
+		if calls == 1 {
+			return 0, 0, errors.New("transient")
+		}
+		return 7, 1, nil
+	}
+	if _, err := c.Get(context.Background(), "k", gen); err == nil {
+		t.Fatal("first Get succeeded, want error")
+	}
+	v, err := c.Get(context.Background(), "k", gen)
+	if err != nil || v != 7 {
+		t.Fatalf("retry Get = (%d, %v), want (7, nil)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("generator ran %d times, want 2", calls)
+	}
+}
+
+// TestCacheLeaderCancelledJoinerRetries: a joiner with a live context does
+// not inherit the leader's cancellation — it reruns the generation.
+func TestCacheLeaderCancelledJoinerRetries(t *testing.T) {
+	c := NewCache[int](0)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	inFlight := make(chan struct{})
+	var gens atomic.Int64
+	gen := func(ctx context.Context) (int, int64, error) {
+		if gens.Add(1) == 1 {
+			close(inFlight)
+			<-ctx.Done()
+			return 0, 0, ctx.Err()
+		}
+		return 9, 1, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Get(leaderCtx, "k", gen); !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v, want canceled", err)
+		}
+	}()
+	<-inFlight
+	var joinerV int
+	var joinerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		joinerV, joinerErr = c.Get(context.Background(), "k", gen)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancelLeader()
+	wg.Wait()
+	if joinerErr != nil || joinerV != 9 {
+		t.Fatalf("joiner = (%d, %v), want (9, nil)", joinerV, joinerErr)
+	}
+}
+
+// TestCacheLRUEviction: inserts beyond the byte budget evict the least
+// recently used entries, and an oversized entry survives alone.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache[string](100)
+	get := func(key string, bytes int64) {
+		t.Helper()
+		if _, err := c.Get(context.Background(), key, func(context.Context) (string, int64, error) {
+			return key, bytes, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a", 40)
+	get("b", 40)
+	get("a", 0) // touch a: b becomes LRU
+	get("c", 40) // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.BytesUsed != 80 {
+		t.Fatalf("after c: evictions/entries/bytes = %d/%d/%d, want 1/2/80", st.Evictions, st.Entries, st.BytesUsed)
+	}
+	// b must regenerate (a miss), a must still hit.
+	before := c.Stats().Misses
+	get("b", 40)
+	if got := c.Stats().Misses; got != before+1 {
+		t.Errorf("b was not evicted: misses %d, want %d", got, before+1)
+	}
+	// An entry larger than the whole budget still caches (alone).
+	get("huge", 500)
+	st = c.Stats()
+	if st.Entries != 1 || st.BytesUsed != 500 {
+		t.Errorf("after huge: entries/bytes = %d/%d, want 1/500", st.Entries, st.BytesUsed)
+	}
+}

@@ -6,11 +6,10 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro"
 )
@@ -23,7 +22,15 @@ type Options struct {
 	Footprint int64
 	// Workloads restricts the kernel set (default: all).
 	Workloads []string
+	// Parallelism bounds the simulations in flight per experiment
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
 }
+
+// traces shares μop generation across every experiment in the process:
+// each figure re-simulates the same kernels under a different timing
+// model, so the functional traces are interpreted once, not per figure.
+var traces = ballerino.NewTraceCache(0)
 
 func (o Options) withDefaults() Options {
 	if o.Ops == 0 {
@@ -35,45 +42,40 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) run(arch, wl string) (*ballerino.Result, error) {
-	return ballerino.Run(ballerino.Config{
+func (o Options) cfg(arch, wl string) ballerino.Config {
+	return ballerino.Config{
 		Arch:           arch,
 		Workload:       wl,
 		FootprintBytes: o.Footprint,
 		MaxOps:         o.Ops,
-	})
+	}
 }
 
-// suite runs arch over every workload (in parallel — each simulation is
-// independent and deterministic) and returns results by workload.
-func (o Options) suite(arch string) (map[string]*ballerino.Result, error) {
-	out := make(map[string]*ballerino.Result, len(o.Workloads))
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		sem      = make(chan struct{}, runtime.GOMAXPROCS(0))
-	)
-	for _, wl := range o.Workloads {
-		wl := wl
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r, err := o.run(arch, wl)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-				return
-			}
-			out[wl] = r
-		}()
+func (o Options) run(arch, wl string) (*ballerino.Result, error) {
+	cfg := o.cfg(arch, wl)
+	if t, err := traces.Prepare(context.Background(), cfg); err == nil {
+		cfg.Trace = t
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	return ballerino.Run(cfg)
+}
+
+// suite runs arch over every workload as one campaign — each simulation
+// is independent and deterministic — and returns results by workload.
+func (o Options) suite(arch string) (map[string]*ballerino.Result, error) {
+	cfgs := make([]ballerino.Config, len(o.Workloads))
+	for i, wl := range o.Workloads {
+		cfgs[i] = o.cfg(arch, wl)
+	}
+	batch := ballerino.RunAll(context.Background(), cfgs, ballerino.BatchOptions{
+		Parallelism: o.Parallelism,
+		Cache:       traces,
+	})
+	if err := batch.FirstErr(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*ballerino.Result, len(o.Workloads))
+	for i, rr := range batch.Results {
+		out[o.Workloads[i]] = rr.Result
 	}
 	return out, nil
 }

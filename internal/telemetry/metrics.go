@@ -31,17 +31,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	s.mu.Lock()
 	live := s.live
-	running := 0
-	if s.current != nil {
-		running = 1
-	}
+	running := len(s.running)
 	s.mu.Unlock()
 
+	tc := s.traces.Stats()
 	gauges := []obs.PromGauge{
 		{Name: "ballserved_ready", Help: "1 when the server accepts jobs.", Value: b2f(s.ready.Load())},
 		{Name: "ballserved_jobs_running", Help: "Jobs currently executing.", Value: float64(running)},
 		{Name: "ballserved_jobs_queued", Help: "Jobs waiting in the queue.", Value: float64(len(s.queue))},
+		{Name: "ballserved_workers", Help: "Concurrent job workers.", Value: float64(s.opts.Workers)},
 		{Name: "ballserved_stream_subscribers", Help: "Connected /stream clients.", Value: float64(s.hub.count())},
+		{Name: "ballserved_trace_cache_hits_total", Help: "Trace-cache lookups served from a resident trace.", Value: float64(tc.Hits)},
+		{Name: "ballserved_trace_cache_misses_total", Help: "Trace-cache lookups that ran the interpreter.", Value: float64(tc.Misses)},
+		{Name: "ballserved_trace_cache_joins_total", Help: "Trace-cache lookups that joined an in-flight generation.", Value: float64(tc.Joins)},
+		{Name: "ballserved_trace_cache_entries", Help: "Traces resident in the cache.", Value: float64(tc.Entries)},
+		{Name: "ballserved_trace_cache_bytes", Help: "Bytes of resident traces.", Value: float64(tc.BytesUsed)},
 	}
 
 	var dump *obs.MetricsDump

@@ -424,3 +424,54 @@ func TestPlaylistJobsRunInOrder(t *testing.T) {
 		t.Errorf("completed = %v, want 2", got)
 	}
 }
+
+// TestMultiWorkerServer: with Workers > 1 the queue drains concurrently,
+// every job still reaches a terminal state with its own manifest, and
+// jobs over the same kernel share one cached trace (misses == distinct
+// kernels, the rest hits or singleflight joins).
+func TestMultiWorkerServer(t *testing.T) {
+	s := NewServer(Options{HeartbeatCycles: 500, Workers: 4})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	specs := []JobSpec{
+		{Arch: "InO", Workload: "store-load", Ops: 8_000},
+		{Arch: "OoO", Workload: "store-load", Ops: 8_000},
+		{Arch: "CASINO", Workload: "store-load", Ops: 8_000},
+		{Arch: "Ballerino", Workload: "store-load", Ops: 8_000},
+		{Arch: "InO", Workload: "stream", Ops: 8_000},
+		{Arch: "Ballerino", Workload: "stream", Ops: 8_000},
+	}
+	var ids []int
+	for _, sp := range specs {
+		ids = append(ids, submitJob(t, ts, sp).ID)
+	}
+	for i, id := range ids {
+		job := waitForState(t, s, id, JobDone)
+		m := job.Manifest()
+		if m == nil || m.Sim.Arch != specs[i].Arch || m.Sim.Workload != specs[i].Workload {
+			t.Fatalf("job %d manifest = %+v, want %s/%s", id, m, specs[i].Arch, specs[i].Workload)
+		}
+	}
+
+	mets := scrape(t, ts)
+	if got := mets["ballserved_jobs_completed_total"]; got != float64(len(specs)) {
+		t.Errorf("completed = %v, want %d", got, len(specs))
+	}
+	if got := mets["ballserved_workers"]; got != 4 {
+		t.Errorf("workers gauge = %v, want 4", got)
+	}
+	if got := mets["ballserved_trace_cache_misses_total"]; got != 2 {
+		t.Errorf("trace generations = %v, want 2 (one per distinct kernel)", got)
+	}
+	hits := mets["ballserved_trace_cache_hits_total"] + mets["ballserved_trace_cache_joins_total"]
+	if hits != float64(len(specs))-2 {
+		t.Errorf("hits+joins = %v, want %d", hits, len(specs)-2)
+	}
+}

@@ -43,6 +43,13 @@ type Options struct {
 	HeartbeatCycles uint64
 	// QueueDepth bounds the pending-job queue (0 = 64).
 	QueueDepth int
+	// Workers is the number of jobs executed concurrently (0 or negative =
+	// 1, the classic strictly-ordered queue).
+	Workers int
+	// TraceCacheBytes is the byte budget of the server's shared trace
+	// cache (0 = ballerino.DefaultTraceCacheBytes, negative = unbounded).
+	// Jobs over the same kernel and μop budget share one generated trace.
+	TraceCacheBytes int64
 }
 
 // Server executes simulation jobs and serves their live telemetry. Create
@@ -65,18 +72,23 @@ type Server struct {
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
 
+	traces *ballerino.TraceCache // shared across all served jobs
+
 	mu      sync.Mutex
 	jobs    map[int]*Job
 	order   []*Job
 	nextID  int
-	current *Job     // running job, nil when idle
-	live    *liveJob // current or most recent job's live state
+	running map[int]*Job // jobs currently executing, by ID
+	live    *liveJob     // most recently started (or finished) job's live state
 }
 
 // NewServer builds a server (not yet running; call Start).
 func NewServer(opts Options) *Server {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -86,17 +98,21 @@ func NewServer(opts Options) *Server {
 		cancelAll: cancel,
 		queue:     make(chan *Job, opts.QueueDepth),
 		jobs:      make(map[int]*Job),
+		running:   make(map[int]*Job),
 		nextID:    1,
+		traces:    ballerino.NewTraceCache(opts.TraceCacheBytes),
 	}
 }
 
-// Start launches the job worker and marks the server ready. Idempotent.
+// Start launches the worker pool and marks the server ready. Idempotent.
 func (s *Server) Start() {
 	if s.started.Swap(true) {
 		return
 	}
-	s.wg.Add(1)
-	go s.worker()
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 	s.ready.Store(true)
 }
 
@@ -169,7 +185,9 @@ func (s *Server) Job(id int) *Job {
 	return s.jobs[id]
 }
 
-// worker executes queued jobs one at a time until shutdown.
+// worker executes queued jobs until shutdown. With Options.Workers > 1
+// several workers drain the one queue concurrently; each simulation is
+// independent, and traces are shared through the server's cache.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -204,7 +222,7 @@ func (s *Server) runJob(job *Job) {
 	job.mu.Unlock()
 
 	s.mu.Lock()
-	s.current = job
+	s.running[job.ID] = job
 	s.live = live
 	s.mu.Unlock()
 
@@ -222,6 +240,13 @@ func (s *Server) runJob(job *Job) {
 
 	cfg := job.Spec.Config()
 	cfg.Recorder = rec
+	// Share the μop trace across jobs over the same kernel. A Prepare
+	// failure (bad config, cancellation) is deliberately dropped here:
+	// RunContext reproduces the identical error below, on the path that
+	// already classifies it.
+	if t, terr := s.traces.Prepare(ctx, cfg); terr == nil {
+		cfg.Trace = t
+	}
 	res, err := ballerino.RunContext(ctx, cfg)
 	cerr := rec.Close()
 
@@ -249,7 +274,7 @@ func (s *Server) runJob(job *Job) {
 	job.mu.Unlock()
 
 	s.mu.Lock()
-	s.current = nil
+	delete(s.running, job.ID)
 	s.mu.Unlock()
 	s.hub.publish("job", job.View(false))
 }

@@ -1,0 +1,199 @@
+package ballerino
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"repro/internal/campaign"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// Trace is an immutable, pre-generated dynamic μop trace: the output of
+// the functional interpreter for one (workload or custom program,
+// footprint, warm-up + μop budget) tuple. Build one with PrepareTrace (or
+// share generations through a TraceCache) and inject it via Config.Trace;
+// any number of concurrent runs may read the same Trace, so N runs over
+// one kernel pay for interpretation once.
+type Trace struct {
+	key string
+	tr  *prog.Trace
+}
+
+// Ops returns the dynamic μop count of the trace.
+func (t *Trace) Ops() int { return len(t.tr.Ops) }
+
+// Workload returns the name of the program the trace was generated from.
+func (t *Trace) Workload() string { return t.tr.Program.Name }
+
+// Key returns the trace's content key: the identity RunContext checks a
+// Config against before accepting the trace.
+func (t *Trace) Key() string { return t.key }
+
+// sizeBytes estimates the trace's resident size for the cache budget: the
+// μop stream itself plus the oracle state (final memory image and
+// load-value map) retained for golden-model verification.
+func (t *Trace) sizeBytes() int64 {
+	const (
+		opBytes  = int64(unsafe.Sizeof(isa.DynInst{}))
+		mapEntry = 48 // rough per-entry cost of a map[uint64]int64
+	)
+	n := int64(len(t.tr.Ops)) * opBytes
+	n += int64(len(t.tr.LoadValues)) * mapEntry
+	if t.tr.Final != nil {
+		n += int64(len(t.tr.Final.Mem)) * mapEntry
+	}
+	return n
+}
+
+// traceKey derives the content key of the trace a config needs. cfg must
+// already be defaulted. Named kernels are identified by (name, footprint);
+// custom programs by the program value itself (programs are immutable
+// once built, so pointer identity is content identity). The dynamic
+// length covers warm-up plus the measured budget.
+func traceKey(cfg Config) string {
+	fp := cfg.FootprintBytes
+	if fp == 0 {
+		fp = workload.DefaultParams.Footprint
+	}
+	ops := cfg.MaxOps + cfg.WarmupOps
+	if cfg.Custom != nil {
+		return fmt.Sprintf("custom:%s@%p|ops:%d", cfg.Custom.Name(), cfg.Custom.Internal(), ops)
+	}
+	return fmt.Sprintf("wl:%s|fp:%d|ops:%d", cfg.Workload, fp, ops)
+}
+
+// resolveProgram returns the μop program a (defaulted) config simulates.
+func resolveProgram(cfg Config) (*prog.Program, error) {
+	if cfg.Custom != nil {
+		return cfg.Custom.Internal(), nil
+	}
+	w, err := workload.ByName(cfg.Workload, workload.Params{Footprint: cfg.FootprintBytes})
+	if err != nil {
+		return nil, err
+	}
+	return w.Program, nil
+}
+
+// generateTrace runs the functional interpreter for cfg's dynamic budget.
+// Fuel exhaustion is not an error: kernels are infinite-friendly loops the
+// simulator truncates.
+func generateTrace(ctx context.Context, program *prog.Program, cfg Config) (*prog.Trace, error) {
+	tr, err := prog.ExecuteContext(ctx, program, cfg.MaxOps+cfg.WarmupOps)
+	if err != nil && !errors.Is(err, prog.ErrFuel) {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// PrepareTrace generates the dynamic μop trace for cfg without running
+// the timing model. The returned Trace is immutable: set it on any number
+// of Configs (Config.Trace) whose workload identity, footprint and
+// warm-up + μop budget match cfg's, and RunContext skips its own
+// generation step. Every failure is a *SimError ("config", "trace", or
+// "canceled" when ctx ends mid-generation).
+func PrepareTrace(ctx context.Context, cfg Config) (*Trace, error) {
+	rc, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return prepareResolved(ctx, rc)
+}
+
+func prepareResolved(ctx context.Context, rc resolved) (*Trace, error) {
+	simErr := func(stage string, cause error) *SimError {
+		if errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
+			stage = "canceled"
+		}
+		return &SimError{Stage: stage, Arch: rc.Arch, Workload: rc.Workload, Err: cause}
+	}
+	program, err := resolveProgram(rc.Config)
+	if err != nil {
+		return nil, simErr("config", err)
+	}
+	tr, err := generateTrace(ctx, program, rc.Config)
+	if err != nil {
+		return nil, simErr("trace", err)
+	}
+	return &Trace{key: traceKey(rc.Config), tr: tr}, nil
+}
+
+// DefaultTraceCacheBytes is the byte budget a zero-valued cache size
+// selects — enough for dozens of million-μop traces without threatening a
+// development machine.
+const DefaultTraceCacheBytes = 512 << 20
+
+// CacheStats reports a TraceCache's behaviour. Hits, Joins and Misses
+// partition the lookups: a Hit found a ready trace, a Join waited on
+// another run's in-flight generation (singleflight), and a Miss ran the
+// interpreter.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Joins     uint64 `json:"joins"`
+	Evictions uint64 `json:"evictions"`
+
+	Entries     int   `json:"entries"`
+	BytesUsed   int64 `json:"bytes_used"`
+	BytesBudget int64 `json:"bytes_budget"` // 0 = unbounded
+}
+
+// TraceCache shares trace generation across runs: lookups are keyed by
+// the trace's content identity, concurrent requests for one key share a
+// single generation, and an LRU byte budget bounds residency. A cache is
+// safe for concurrent use; RunAll creates one per batch unless handed a
+// longer-lived cache via BatchOptions.Cache (how the telemetry service
+// shares traces across served jobs).
+type TraceCache struct {
+	c *campaign.Cache[*Trace]
+}
+
+// NewTraceCache builds a cache with the given byte budget: 0 selects
+// DefaultTraceCacheBytes, negative means unbounded.
+func NewTraceCache(budgetBytes int64) *TraceCache {
+	if budgetBytes == 0 {
+		budgetBytes = DefaultTraceCacheBytes
+	}
+	if budgetBytes < 0 {
+		budgetBytes = 0 // campaign.Cache: 0 = unbounded
+	}
+	return &TraceCache{c: campaign.NewCache[*Trace](budgetBytes)}
+}
+
+// Prepare returns the trace for cfg, generating and caching it on a miss.
+// Identical configurations — same kernel, footprint and dynamic budget —
+// share one cached trace regardless of architecture, width or any other
+// timing-only field.
+func (tc *TraceCache) Prepare(ctx context.Context, cfg Config) (*Trace, error) {
+	rc, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if rc.Trace != nil {
+		return rc.Trace, nil
+	}
+	return tc.c.Get(ctx, traceKey(rc.Config), func(ctx context.Context) (*Trace, int64, error) {
+		t, err := prepareResolved(ctx, rc)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, t.sizeBytes(), nil
+	})
+}
+
+// Stats snapshots the cache counters.
+func (tc *TraceCache) Stats() CacheStats {
+	s := tc.c.Stats()
+	return CacheStats{
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		Joins:       s.Joins,
+		Evictions:   s.Evictions,
+		Entries:     s.Entries,
+		BytesUsed:   s.BytesUsed,
+		BytesBudget: s.BytesBudget,
+	}
+}

@@ -89,7 +89,7 @@ type Ballerino struct {
 	rn  *rename.Renamer
 	mdp *mdp.MDP
 
-	siq  []*sched.UOp
+	siq  sched.Ring
 	piqs []piq
 
 	events sched.EnergyEvents
@@ -124,6 +124,7 @@ func New(cfg Config, rn *rename.Renamer, m *mdp.MDP) *Ballerino {
 		panic(err)
 	}
 	b := &Ballerino{cfg: cfg, rn: rn, mdp: m, piqs: make([]piq, cfg.NumPIQs)}
+	b.siq.Init(cfg.SIQSize)
 	for i := range b.piqs {
 		b.piqs[i].init(cfg.PIQDepth)
 	}
@@ -154,7 +155,7 @@ func (b *Ballerino) SetProbe(p sched.Probe) { b.probe = p }
 
 // Occupancy implements sched.Scheduler.
 func (b *Ballerino) Occupancy() int {
-	n := len(b.siq)
+	n := b.siq.Len()
 	for i := range b.piqs {
 		n += b.piqs[i].len()
 	}
@@ -163,10 +164,10 @@ func (b *Ballerino) Occupancy() int {
 
 // Dispatch implements sched.Scheduler: μops enter the S-IQ in program order.
 func (b *Ballerino) Dispatch(u *sched.UOp, _ uint64) bool {
-	if len(b.siq) >= b.cfg.SIQSize {
+	if b.siq.Full() {
 		return false
 	}
-	b.siq = append(b.siq, u)
+	b.siq.Push(u)
 	b.events.QueueWrites++
 	return true
 }
@@ -197,13 +198,14 @@ func (b *Ballerino) Issue(cycle uint64, ctx *sched.IssueCtx) {
 func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *sched.PortMask) {
 	for i := range b.piqs {
 		q := &b.piqs[i]
-		heads := q.activeHeads(b.cfg.Options.IdealSharing)
-		if len(heads) == 0 {
+		var heads [2]int
+		nh := q.activeHeadsInto(b.cfg.Options.IdealSharing, &heads)
+		if nh == 0 {
 			b.headEmpty++
 			continue
 		}
 		issuedAny := false
-		for _, part := range heads {
+		for _, part := range heads[:nh] {
 			u := q.headOf(part)
 			b.events.QueueReads++
 			b.events.PSCBReads += 2
@@ -242,12 +244,12 @@ func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *s
 // dependences. A steering failure stalls the window at that μop.
 func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sched.PortMask) {
 	examine := b.cfg.SIQWindow
-	if len(b.siq) < examine {
-		examine = len(b.siq)
+	if b.siq.Len() < examine {
+		examine = b.siq.Len()
 	}
 	removed := 0
 	for n := 0; n < examine; n++ {
-		u := b.siq[n]
+		u := b.siq.At(n)
 		b.events.QueueReads++
 		b.events.PSCBReads += 2
 
@@ -272,7 +274,7 @@ func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sche
 		break
 	}
 	if removed > 0 {
-		b.siq = b.siq[removed:]
+		b.siq.DropFront(removed)
 	}
 }
 
@@ -381,12 +383,7 @@ func (b *Ballerino) Complete(rename.PhysReg, uint64) {}
 
 // Flush implements sched.Scheduler.
 func (b *Ballerino) Flush(seq uint64) {
-	for i, u := range b.siq {
-		if u.Seq() >= seq {
-			b.siq = b.siq[:i]
-			break
-		}
-	}
+	b.siq.FlushFrom(seq)
 	for i := range b.piqs {
 		b.piqs[i].flushFrom(seq)
 	}
@@ -395,9 +392,9 @@ func (b *Ballerino) Flush(seq uint64) {
 // Queues implements sched.Inspector: the S-IQ plus every P-IQ partition,
 // each an in-order FIFO holding one dependence chain.
 func (b *Ballerino) Queues() []sched.QueueSnapshot {
-	siq := make([]uint64, len(b.siq))
-	for i, u := range b.siq {
-		siq[i] = u.Seq()
+	siq := make([]uint64, b.siq.Len())
+	for i := range siq {
+		siq[i] = b.siq.At(i).Seq()
 	}
 	qs := []sched.QueueSnapshot{{Name: "S-IQ", FIFO: true, Cap: b.cfg.SIQSize, Seqs: siq}}
 	for i := range b.piqs {

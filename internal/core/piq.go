@@ -18,6 +18,10 @@ type piq struct {
 	buf []*sched.UOp
 	cap int
 
+	// scratch backs the ideal-sharing compaction (≤ cap/2 entries move),
+	// so activating sharing never allocates.
+	scratch []*sched.UOp
+
 	sharing bool
 	parts   [2]part
 
@@ -37,6 +41,7 @@ func (q *piq) init(capacity int) {
 	}
 	q.buf = make([]*sched.UOp, capacity)
 	q.cap = capacity
+	q.scratch = make([]*sched.UOp, capacity/2)
 	q.reset()
 }
 
@@ -88,29 +93,43 @@ func (q *piq) popHead(partIdx int) {
 	p.count--
 }
 
-// activeHeads lists the partitions whose heads are examined this cycle:
-// the single FIFO head in normal mode, the active partition in sharing
-// mode, or every non-empty partition in the ideal design.
-func (q *piq) activeHeads(ideal bool) []int {
+// activeHeadsInto fills dst with the partitions whose heads are examined
+// this cycle — the single FIFO head in normal mode, the active partition in
+// sharing mode, or every non-empty partition in the ideal design — and
+// returns how many, without allocating.
+func (q *piq) activeHeadsInto(ideal bool, dst *[2]int) int {
 	if q.len() == 0 {
-		return nil
+		return 0
 	}
 	if !q.sharing {
-		return []int{0}
+		dst[0] = 0
+		return 1
 	}
 	if ideal {
-		var hs []int
+		n := 0
 		for i := range q.parts {
 			if q.parts[i].count > 0 {
-				hs = append(hs, i)
+				dst[n] = i
+				n++
 			}
 		}
-		return hs
+		return n
 	}
 	if q.parts[q.active].count == 0 {
 		q.active = 1 - q.active
 	}
-	return []int{q.active}
+	dst[0] = q.active
+	return 1
+}
+
+// activeHeads is activeHeadsInto as a slice (test convenience).
+func (q *piq) activeHeads(ideal bool) []int {
+	var hs [2]int
+	n := q.activeHeadsInto(ideal, &hs)
+	if n == 0 {
+		return nil
+	}
+	return append([]int(nil), hs[:n]...)
 }
 
 // endCycle applies the §IV-D head-pointer policy: keep the active head
@@ -174,16 +193,20 @@ func (q *piq) activateSharing(ideal bool) (int, bool) {
 	case ideal && p.count <= half:
 		// Ideal design: compact the contents into the first half,
 		// ignoring pointer locations.
-		var tmp []*sched.UOp
-		for i := 0; i < p.count; i++ {
-			tmp = append(tmp, q.buf[p.slot(i)])
+		n := p.count
+		tmp := q.scratch[:n]
+		for i := 0; i < n; i++ {
+			tmp[i] = q.buf[p.slot(i)]
 		}
 		for i := range q.buf {
 			q.buf[i] = nil
 		}
 		copy(q.buf, tmp)
+		for i := range tmp {
+			tmp[i] = nil
+		}
 		q.sharing = true
-		q.parts[0] = part{base: 0, size: half, count: len(tmp)}
+		q.parts[0] = part{base: 0, size: half, count: n}
 		q.parts[1] = part{base: half, size: half}
 		q.active = 0
 		return 1, true

@@ -22,7 +22,12 @@ func New(lqCap, sqCap int) (*Queues, error) {
 	if lqCap <= 0 || sqCap <= 0 {
 		return nil, fmt.Errorf("lsq: capacities must be positive (LQ %d, SQ %d)", lqCap, sqCap)
 	}
-	return &Queues{lqCap: lqCap, sqCap: sqCap}, nil
+	return &Queues{
+		lq:    make([]*sched.UOp, 0, lqCap),
+		sq:    make([]*sched.UOp, 0, sqCap),
+		lqCap: lqCap,
+		sqCap: sqCap,
+	}, nil
 }
 
 // Counts returns the current (load, store) occupancies.
@@ -89,19 +94,30 @@ func (q *Queues) Remove(u *sched.UOp) {
 func remove(s []*sched.UOp, u *sched.UOp) []*sched.UOp {
 	for i, x := range s {
 		if x == u {
-			return append(s[:i], s[i+1:]...)
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			return s[:len(s)-1]
 		}
 	}
 	return s
 }
 
 // StoreBySeq returns the in-flight store with the given sequence number,
-// or nil if it has left the queue (committed or squashed).
+// or nil if it has left the queue (committed or squashed). The SQ is in
+// program order (ascending seq), so this is a binary search — it sits on
+// the issue-readiness path of every M-dependent memory μop, every cycle.
 func (q *Queues) StoreBySeq(seq uint64) *sched.UOp {
-	for _, st := range q.sq {
-		if st.Seq() == seq {
-			return st
+	lo, hi := 0, len(q.sq)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.sq[mid].Seq() < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(q.sq) && q.sq[lo].Seq() == seq {
+		return q.sq[lo]
 	}
 	return nil
 }

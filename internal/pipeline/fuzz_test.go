@@ -1,10 +1,12 @@
 package pipeline_test
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/pipeline"
+	"repro/internal/prog"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -51,6 +53,82 @@ func TestFuzzSchedulerEquivalence(t *testing.T) {
 			}
 			if ipc := s.IPC(); ipc <= 0 || ipc > 8 {
 				t.Fatalf("seed %d %s: IPC %f out of bounds", seed, arch, ipc)
+			}
+		}
+	}
+}
+
+// TestFuzzReplayDifferential pits the zero-alloc engine against the
+// independent functional golden model: random programs run with the
+// invariant auditor enabled while prog.Replay re-executes every committed
+// μop from its own architectural state. A hot-path bug that commits a
+// recycled record, reorders the stream, or corrupts a μop's payload
+// surfaces as a concrete architectural divergence.
+func TestFuzzReplayDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	seeds := []uint64{3, 17, 256, 4093, 70707}
+	const ops = 4000
+	for _, seed := range seeds {
+		w := workload.Random(workload.RandomParams{Seed: seed})
+		tr := traceOf(t, w, ops)
+		for _, arch := range config.AllArchs() {
+			m := config.MustMachine(arch, 8, config.Options{MaxCycles: 2_000_000})
+			p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, arch, err)
+			}
+			p.EnableAudit()
+			replay := prog.NewReplay(w.Program)
+			p.OnCommit = func(u *sched.UOp) {
+				if err := replay.Apply(u.D); err != nil {
+					t.Fatalf("seed %d %s: %v", seed, arch, err)
+				}
+			}
+			if _, err := p.Run(uint64(len(tr))); err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, arch, err, p.DebugState())
+			}
+			if replay.Ops() != uint64(len(tr)) {
+				t.Fatalf("seed %d %s: replayed %d of %d μops", seed, arch, replay.Ops(), len(tr))
+			}
+		}
+	}
+}
+
+// TestFuzzRecycleEquivalence proves the μop arena is invisible: the same
+// trace runs twice per architecture, once with an OnCommit observer
+// attached (which disables record recycling) and once without (recycling
+// active), and every deterministic observable must be byte-identical.
+// Any dependence of simulation behaviour on record reuse diverges here.
+func TestFuzzRecycleEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz")
+	}
+	seeds := []uint64{11, 1337}
+	const ops = 4000
+	for _, seed := range seeds {
+		w := workload.Random(workload.RandomParams{Seed: seed})
+		tr := traceOf(t, w, ops)
+		for _, arch := range config.AllArchs() {
+			run := func(observe bool) []byte {
+				m := config.MustMachine(arch, 8, config.Options{MaxCycles: 2_000_000})
+				p, err := pipeline.New(m.Pipeline, tr, m.Factory)
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, arch, err)
+				}
+				if observe {
+					p.OnCommit = func(u *sched.UOp) {}
+				}
+				if _, err := p.Run(uint64(len(tr))); err != nil {
+					t.Fatalf("seed %d %s (observe=%v): %v", seed, arch, observe, err)
+				}
+				return goldenDigest(p, arch, "fuzz")
+			}
+			pooled, observed := run(false), run(true)
+			if !bytes.Equal(pooled, observed) {
+				t.Fatalf("seed %d %s: recycling changed observable behaviour:\npooled:\n%s\nobserved:\n%s",
+					seed, arch, pooled, observed)
 			}
 		}
 	}

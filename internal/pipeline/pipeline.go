@@ -127,6 +127,171 @@ type robEntry struct {
 	rec rename.Entry
 }
 
+// robRing is the reorder buffer: a preallocated power-of-two ring of ROB
+// entries. The logical capacity (cfg.ROBSize) is enforced by the dispatch
+// stage; the ring only provides creep-free storage.
+type robRing struct {
+	buf  []robEntry
+	mask int
+	head int
+	n    int
+}
+
+func (r *robRing) init(capacity int) {
+	sz := 1
+	for sz < capacity {
+		sz <<= 1
+	}
+	r.buf = make([]robEntry, sz)
+	r.mask = sz - 1
+}
+
+// at returns the i-th oldest entry (0 = commit head).
+func (r *robRing) at(i int) *robEntry { return &r.buf[(r.head+i)&r.mask] }
+
+func (r *robRing) push(e robEntry) {
+	r.buf[(r.head+r.n)&r.mask] = e
+	r.n++
+}
+
+func (r *robRing) popFront() {
+	r.buf[r.head] = robEntry{}
+	r.head = (r.head + 1) & r.mask
+	r.n--
+}
+
+// truncate drops every entry from logical index cut on (flush recovery),
+// zeroing the vacated slots so squashed μops can be recycled safely.
+func (r *robRing) truncate(cut int) {
+	for i := r.n - 1; i >= cut; i-- {
+		r.buf[(r.head+i)&r.mask] = robEntry{}
+	}
+	r.n = cut
+}
+
+// decodeRing is the allocation queue between decode and rename: a
+// preallocated power-of-two ring of decodeEntry values (the slice-based
+// queue allocated one record per fetched μop).
+type decodeRing struct {
+	buf  []decodeEntry
+	mask int
+	head int
+	n    int
+}
+
+func (r *decodeRing) init(capacity int) {
+	sz := 1
+	for sz < capacity {
+		sz <<= 1
+	}
+	r.buf = make([]decodeEntry, sz)
+	r.mask = sz - 1
+}
+
+// at returns a pointer to the i-th oldest entry; rename mutates it in
+// place across stalled cycles.
+func (r *decodeRing) at(i int) *decodeEntry { return &r.buf[(r.head+i)&r.mask] }
+
+func (r *decodeRing) push(e decodeEntry) {
+	r.buf[(r.head+r.n)&r.mask] = e
+	r.n++
+}
+
+func (r *decodeRing) popFront() {
+	r.buf[r.head] = decodeEntry{}
+	r.head = (r.head + 1) & r.mask
+	r.n--
+}
+
+func (r *decodeRing) clear() {
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&r.mask] = decodeEntry{}
+	}
+	r.n = 0
+}
+
+// wheelSpan is the completion wheel's horizon in cycles (a power of two).
+// Nearly every functional-unit and cache latency lands within it; events
+// further out (DRAM queueing tails) wait in an overflow list that is
+// re-homed into the wheel once per wheelSpan cycles.
+const wheelSpan = 1024
+
+// completionWheel is a timing wheel replacing the cycle→μops completion
+// map: bucket (c & mask) holds exactly the events due at cycle c as long
+// as every event is pushed less than wheelSpan cycles ahead. Buckets are
+// intrusive linked lists threaded through UOp.WheelNext — a μop has at
+// most one pending completion event and is never recycled while linked —
+// so event scheduling never allocates, not even to grow a bucket.
+type completionWheel struct {
+	heads, tails []*sched.UOp
+	// farHead/farTail chain events at or beyond the horizon.
+	farHead, farTail *sched.UOp
+}
+
+func (w *completionWheel) init() {
+	w.heads = make([]*sched.UOp, wheelSpan)
+	w.tails = make([]*sched.UOp, wheelSpan)
+}
+
+// push schedules u's completion event at cycle done (done > now, because
+// every functional-unit latency is ≥ 1). Insertion order is preserved per
+// bucket: event processing order matches the slice-based engine exactly.
+func (w *completionWheel) push(u *sched.UOp, done, now uint64) {
+	u.WheelNext = nil
+	if done-now < wheelSpan {
+		i := done & (wheelSpan - 1)
+		if w.tails[i] == nil {
+			w.heads[i] = u
+		} else {
+			w.tails[i].WheelNext = u
+		}
+		w.tails[i] = u
+		return
+	}
+	if w.farTail == nil {
+		w.farHead = u
+	} else {
+		w.farTail.WheelNext = u
+	}
+	w.farTail = u
+}
+
+// rehome moves overflow events that now fall within the horizon into their
+// buckets. Called at every wheelSpan-aligned cycle, which is guaranteed to
+// happen before any overflow event becomes due: an event enters far at
+// least wheelSpan cycles early, and re-homing cycles are at most wheelSpan
+// apart.
+func (w *completionWheel) rehome(now uint64) {
+	u := w.farHead
+	w.farHead, w.farTail = nil, nil
+	for u != nil {
+		next := u.WheelNext
+		w.push(u, u.CompleteCycle, now)
+		u = next
+	}
+}
+
+// uopArena recycles μop records through a free list. Records are reset at
+// allocation, not at release: a recycled μop may still sit (squashed) in a
+// scheduler queue for the rest of its flush cycle, and late readers must
+// keep seeing its Squashed flag.
+type uopArena struct {
+	free []*sched.UOp
+}
+
+func (a *uopArena) get() *sched.UOp {
+	if n := len(a.free); n > 0 {
+		u := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		*u = sched.UOp{}
+		return u
+	}
+	return new(sched.UOp)
+}
+
+func (a *uopArena) put(u *sched.UOp) { a.free = append(a.free, u) }
+
 // Pipeline is one core simulation instance over a dynamic trace.
 type Pipeline struct {
 	cfg Config
@@ -144,16 +309,24 @@ type Pipeline struct {
 	// Front end.
 	fetchIdx        int // next trace index to fetch
 	fetchStallUntil uint64
-	decodeQ         []*decodeEntry
+	decodeQ         decodeRing
 
 	// Back end.
-	rob          []robEntry // in program order; index 0 is the oldest
+	rob          robRing // in program order; at(0) is the oldest
 	lsq          *lsq.Queues
 	portInflight []int
 	divBusyUntil []uint64
 
-	// completions maps cycle → μops finishing execution then.
-	completions map[uint64][]*sched.UOp
+	// wheel schedules completion events; pool recycles μop records once
+	// they are both retired (committed or squashed) and written back.
+	// Recycling is bypassed while OnCommit is attached — observers may
+	// legitimately retain committed μops.
+	wheel completionWheel
+	pool  uopArena
+
+	// issueCtx is built once; allocating the two method-value closures
+	// per cycle was a measurable share of the hot loop.
+	issueCtx sched.IssueCtx
 
 	// warmupCycles/warmupCommits record the state at the end of Warmup so
 	// reported statistics cover only the measured region.
@@ -232,8 +405,11 @@ func New(cfg Config, trace []isa.DynInst, mk SchedulerFactory) (*Pipeline, error
 		trace:        trace,
 		portInflight: make([]int, cfg.Ports.Width()),
 		divBusyUntil: make([]uint64, cfg.Ports.Width()),
-		completions:  make(map[uint64][]*sched.UOp),
 	}
+	p.rob.init(cfg.ROBSize)
+	p.decodeQ.init(cfg.DecodeQueue)
+	p.wheel.init()
+	p.issueCtx = sched.IssueCtx{Ready: p.ready, Grant: p.grant}
 	p.sched = mk(rn, m)
 	if p.sched == nil {
 		return nil, fmt.Errorf("pipeline: scheduler factory returned nil")
@@ -265,13 +441,13 @@ func (p *Pipeline) Cycle() uint64 { return p.cycle }
 // --- check.Source introspection surface ---
 
 // ROBLen returns the live reorder-buffer depth.
-func (p *Pipeline) ROBLen() int { return len(p.rob) }
+func (p *Pipeline) ROBLen() int { return p.rob.n }
 
 // ROBEntry returns the i-th oldest in-flight μop.
-func (p *Pipeline) ROBEntry(i int) *sched.UOp { return p.rob[i].u }
+func (p *Pipeline) ROBEntry(i int) *sched.UOp { return p.rob.at(i).u }
 
 // DecodeDepth returns the decode-queue depth.
-func (p *Pipeline) DecodeDepth() int { return len(p.decodeQ) }
+func (p *Pipeline) DecodeDepth() int { return p.decodeQ.n }
 
 // FetchIndex returns the next trace index to fetch.
 func (p *Pipeline) FetchIndex() int { return p.fetchIdx }
@@ -348,15 +524,15 @@ func (p *Pipeline) ObsSnapshot() obs.Snapshot {
 func (p *Pipeline) DebugState() string {
 	nl, ns := p.lsq.Counts()
 	s := fmt.Sprintf("cycle=%d fetchIdx=%d stallUntil=%d decodeQ=%d rob=%d lq=%d sq=%d\n",
-		p.cycle, p.fetchIdx, p.fetchStallUntil, len(p.decodeQ), len(p.rob), nl, ns)
-	if len(p.rob) > 0 {
-		u := p.rob[0].u
+		p.cycle, p.fetchIdx, p.fetchStallUntil, p.decodeQ.n, p.rob.n, nl, ns)
+	if p.rob.n > 0 {
+		u := p.rob.at(0).u
 		s += fmt.Sprintf("rob head: %v issued=%v complete=%d src=%v readyAt=[%d %d] mdpWait=%d cls=%v port=%d\n",
 			u.D, u.Issued, u.CompleteCycle, u.Src,
 			p.rn.ReadyAt(u.Src[0]), p.rn.ReadyAt(u.Src[1]), u.MDPWait, u.Cls, u.Port)
 	}
-	if len(p.decodeQ) > 0 {
-		de := p.decodeQ[0]
+	if p.decodeQ.n > 0 {
+		de := p.decodeQ.at(0)
 		s += fmt.Sprintf("decode head: %v renamed=%v\n", de.u.D, de.renamed)
 	}
 	return s
@@ -443,7 +619,7 @@ func (p *Pipeline) RunContext(ctx context.Context, maxCommits uint64) (*stats.Si
 // drained reports whether every fetched μop has committed and no more can
 // be fetched.
 func (p *Pipeline) drained() bool {
-	return p.fetchIdx >= len(p.trace) && len(p.rob) == 0 && len(p.decodeQ) == 0
+	return p.fetchIdx >= len(p.trace) && p.rob.n == 0 && p.decodeQ.n == 0
 }
 
 // step advances one cycle, stages in reverse pipeline order.
@@ -471,40 +647,41 @@ func (p *Pipeline) step() {
 // entry past the midpoint — never the head — so the flush stresses rename
 // recovery and refetch without endangering forward progress.
 func (p *Pipeline) injectFlush() {
-	if p.inj == nil || len(p.rob) < 2 || !p.inj.FlushNow(p.cycle) {
+	if p.inj == nil || p.rob.n < 2 || !p.inj.FlushNow(p.cycle) {
 		return
 	}
-	idx := 1 + len(p.rob)/2
-	if idx >= len(p.rob) {
-		idx = len(p.rob) - 1
+	idx := 1 + p.rob.n/2
+	if idx >= p.rob.n {
+		idx = p.rob.n - 1
 	}
-	p.flushFrom(p.rob[idx].u.Seq())
+	p.flushFrom(p.rob.at(idx).u.Seq())
 }
 
 // --- Commit ---
 
 func (p *Pipeline) commit() {
-	for n := 0; n < p.cfg.CommitWidth && len(p.rob) > 0; n++ {
-		e := p.rob[0]
-		if !e.u.Issued || e.u.CompleteCycle > p.cycle {
+	for n := 0; n < p.cfg.CommitWidth && p.rob.n > 0; n++ {
+		e := p.rob.at(0)
+		u, rec := e.u, e.rec
+		if !u.Issued || u.CompleteCycle > p.cycle {
 			return
 		}
-		p.rob = p.rob[1:]
-		p.rn.Commit(e.rec)
-		if e.u.D.IsStore() {
+		p.rob.popFront()
+		p.rn.Commit(rec)
+		if u.D.IsStore() {
 			// Stores write the data cache at commit and leave the SQ.
-			p.mem.Store(e.u.D.Addr, p.cycle)
+			p.mem.Store(u.D.Addr, p.cycle)
 		}
-		p.lsq.Remove(e.u)
+		p.lsq.Remove(u)
 		p.stats.Committed++
 		p.totCommitted++
 		p.lastCommitCycle = p.cycle
-		p.stats.Record(e.u)
+		p.stats.Record(u)
 		if p.obs != nil {
-			p.obs.ObserveCommit(e.u, p.cycle)
+			p.obs.ObserveCommit(u, p.cycle)
 		}
 		if p.audit != nil && p.auditErr == nil {
-			if err := p.audit.ObserveCommit(e.u); err != nil {
+			if err := p.audit.ObserveCommit(u); err != nil {
 				ve := err.(*check.ViolationError)
 				ve.Cycle = p.cycle
 				ve.Autopsy = check.Collect(p)
@@ -512,24 +689,47 @@ func (p *Pipeline) commit() {
 			}
 		}
 		if p.OnCommit != nil {
-			p.OnCommit(e.u)
+			p.OnCommit(u)
 		}
+		u.Committed = true
+		if u.WBDone {
+			p.recycle(u)
+		}
+	}
+}
+
+// recycle returns a retired-and-written-back μop record to the arena.
+// Disabled while an OnCommit observer is attached: observers may retain
+// committed μops past their pipeline lifetime.
+func (p *Pipeline) recycle(u *sched.UOp) {
+	if p.OnCommit == nil {
+		p.pool.put(u)
 	}
 }
 
 // --- Execute / writeback events ---
 
 func (p *Pipeline) processCompletions() {
-	ops := p.completions[p.cycle]
-	if ops == nil {
+	if p.wheel.farHead != nil && p.cycle&(wheelSpan-1) == 0 {
+		p.wheel.rehome(p.cycle)
+	}
+	slot := p.cycle & (wheelSpan - 1)
+	u := p.wheel.heads[slot]
+	if u == nil {
 		return
 	}
-	delete(p.completions, p.cycle)
-	for _, u := range ops {
+	p.wheel.heads[slot], p.wheel.tails[slot] = nil, nil
+	for u != nil {
+		next := u.WheelNext
+		u.WheelNext = nil
+		u.WBDone = true
 		if u.Squashed {
+			p.recycle(u)
+			u = next
 			continue
 		}
 		p.sched.Complete(u.Dst, p.cycle)
+		p.rn.MarkReady(u.Dst)
 		if p.obs != nil {
 			p.obs.Emit(obs.Event{Kind: obs.KindWriteback, Cycle: p.cycle, Seq: u.Seq(),
 				PC: uint64(u.D.PC), Op: u.D.Op, Cls: u.Cls, Port: int16(u.Port)})
@@ -549,6 +749,10 @@ func (p *Pipeline) processCompletions() {
 			// so overwriting the stall is safe.
 			p.fetchStallUntil = p.cycle + p.cfg.RecoveryPenalty
 		}
+		if u.Squashed || u.Committed {
+			p.recycle(u)
+		}
+		u = next
 	}
 }
 
@@ -583,28 +787,30 @@ func (p *Pipeline) flushFrom(bound uint64) {
 	// its (renamed) entries are undone first, youngest first. Entries that
 	// never renamed have no state to undo but still count as squashed for
 	// the lifetime μop accounting.
-	for i := len(p.decodeQ) - 1; i >= 0; i-- {
-		de := p.decodeQ[i]
+	for i := p.decodeQ.n - 1; i >= 0; i-- {
+		de := p.decodeQ.at(i)
 		if de.renamed {
 			p.squash(de.u, de.rec)
 		} else {
 			de.u.Squashed = true
 			p.totSquashed++
+			p.recycle(de.u) // never entered the scheduler, LSQ or wheel
 		}
 	}
-	p.decodeQ = p.decodeQ[:0]
+	p.decodeQ.clear()
 
-	cut := len(p.rob)
-	for i, e := range p.rob {
-		if e.u.Seq() >= bound {
+	cut := p.rob.n
+	for i := 0; i < p.rob.n; i++ {
+		if p.rob.at(i).u.Seq() >= bound {
 			cut = i
 			break
 		}
 	}
-	for i := len(p.rob) - 1; i >= cut; i-- {
-		p.squash(p.rob[i].u, p.rob[i].rec)
+	for i := p.rob.n - 1; i >= cut; i-- {
+		e := p.rob.at(i)
+		p.squash(e.u, e.rec)
 	}
-	p.rob = p.rob[:cut]
+	p.rob.truncate(cut)
 
 	p.sched.Flush(bound)
 
@@ -631,6 +837,12 @@ func (p *Pipeline) squash(u *sched.UOp, rec rename.Entry) {
 	if u.D.IsStore() && p.cfg.UseMDP {
 		p.mdp.StoreSquashed(u.SSID, u.Seq())
 	}
+	// Unissued μops have no pending completion event; issued ones whose
+	// event already fired won't see the wheel again. Either way this squash
+	// is the record's last pipeline touchpoint.
+	if !u.Issued || u.WBDone {
+		p.recycle(u)
+	}
 }
 
 // --- Issue / execute ---
@@ -651,7 +863,7 @@ func (p *Pipeline) mdpResolved(u *sched.UOp) bool {
 }
 
 func (p *Pipeline) ready(u *sched.UOp) bool {
-	if !p.rn.Ready(u.Src[0], p.cycle) || !p.rn.Ready(u.Src[1], p.cycle) {
+	if !p.rn.FastReady(u.Src[0]) || !p.rn.FastReady(u.Src[1]) {
 		return false
 	}
 	if u.D.Op.IsMem() && !p.mdpResolved(u) {
@@ -670,11 +882,7 @@ func (p *Pipeline) ready(u *sched.UOp) bool {
 }
 
 func (p *Pipeline) issue() {
-	ctx := &sched.IssueCtx{
-		Ready: p.ready,
-		Grant: p.grant,
-	}
-	p.sched.Issue(p.cycle, ctx)
+	p.sched.Issue(p.cycle, &p.issueCtx)
 }
 
 // grant executes u: computes its completion time through the functional
@@ -713,7 +921,7 @@ func (p *Pipeline) grant(u *sched.UOp) {
 	if u.Dst != rename.PhysNone {
 		p.rn.SetReadyAt(u.Dst, done)
 	}
-	p.completions[done] = append(p.completions[done], u)
+	p.wheel.push(u, done, p.cycle)
 
 	if p.obs != nil {
 		p.obs.Emit(obs.Event{Kind: obs.KindIssue, Cycle: p.cycle, Seq: u.Seq(),
@@ -750,17 +958,17 @@ func (p *Pipeline) executeLoad(u *sched.UOp) uint64 {
 // --- Rename / dispatch ---
 
 func (p *Pipeline) dispatch() {
-	if p.inj != nil && len(p.decodeQ) > 0 && p.inj.StallDispatch(p.cycle) {
-		p.dispatchStall(p.decodeQ[0].u)
+	if p.inj != nil && p.decodeQ.n > 0 && p.inj.StallDispatch(p.cycle) {
+		p.dispatchStall(p.decodeQ.at(0).u)
 		return
 	}
-	for n := 0; n < p.cfg.RenameWidth && len(p.decodeQ) > 0; n++ {
-		de := p.decodeQ[0]
+	for n := 0; n < p.cfg.RenameWidth && p.decodeQ.n > 0; n++ {
+		de := p.decodeQ.at(0)
 		u := de.u
 		if de.visibleAt > p.cycle {
 			return // still in the fetch/decode/rename pipeline
 		}
-		if len(p.rob) >= p.cfg.ROBSize || !p.lsq.CanAccept(u) {
+		if p.rob.n >= p.cfg.ROBSize || !p.lsq.CanAccept(u) {
 			p.dispatchStall(u)
 			return
 		}
@@ -774,12 +982,13 @@ func (p *Pipeline) dispatch() {
 			p.dispatchStall(u)
 			return
 		}
-		// Accepted: enter ROB and LSQ.
+		// Accepted: enter ROB and LSQ. Push before popping the decode slot
+		// (de points into the ring's storage).
 		u.DispatchCycle = p.cycle
-		u.ROB = len(p.rob)
-		p.rob = append(p.rob, robEntry{u: u, rec: de.rec})
+		u.ROB = p.rob.n
+		p.rob.push(robEntry{u: u, rec: de.rec})
 		p.lsq.Insert(u)
-		p.decodeQ = p.decodeQ[1:]
+		p.decodeQ.popFront()
 		if p.obs != nil {
 			p.obs.Emit(obs.Event{Kind: obs.KindDispatch, Cycle: p.cycle, Seq: u.Seq(),
 				PC: uint64(u.D.PC), Op: u.D.Op, Cls: u.Cls, Port: int16(u.Port)})
@@ -877,7 +1086,7 @@ func (p *Pipeline) fetch() {
 		return
 	}
 	for n := 0; n < p.cfg.FetchWidth; n++ {
-		if p.fetchIdx >= len(p.trace) || len(p.decodeQ) >= p.cfg.DecodeQueue {
+		if p.fetchIdx >= len(p.trace) || p.decodeQ.n >= p.cfg.DecodeQueue {
 			return
 		}
 		d := &p.trace[p.fetchIdx]
@@ -889,15 +1098,14 @@ func (p *Pipeline) fetch() {
 			return
 		}
 
-		u := &sched.UOp{
-			D:           d,
-			DecodeCycle: p.cycle + 2, // after the fetch and decode stages
-			MDPWait:     mdp.NoStore,
-			SSID:        -1,
-		}
+		u := p.pool.get()
+		u.D = d
+		u.DecodeCycle = p.cycle + 2 // after the fetch and decode stages
+		u.MDPWait = mdp.NoStore
+		u.SSID = -1
 		p.stats.Fetched++
 		p.totFetched++
-		p.decodeQ = append(p.decodeQ, &decodeEntry{u: u, visibleAt: p.cycle + p.cfg.FrontLatency})
+		p.decodeQ.push(decodeEntry{u: u, visibleAt: p.cycle + p.cfg.FrontLatency})
 		p.fetchIdx++
 		if p.obs != nil {
 			p.obs.Emit(obs.Event{Kind: obs.KindFetch, Cycle: p.cycle, Seq: u.Seq(),

@@ -12,7 +12,7 @@ import (
 // the ready μops immediately, and passes the preceding non-ready μops to
 // the next queue. The final queue issues strictly in program order.
 type CASINO struct {
-	queues []fifo // queues[0] is S-IQ0 (dispatch target); last is the in-order IQ
+	queues []Ring // queues[0] is S-IQ0 (dispatch target); last is the in-order IQ
 	window int    // μops examined per S-IQ per cycle (read ports)
 	pass   int    // μops passed to the next queue per cycle (write ports)
 	width  int
@@ -21,6 +21,10 @@ type CASINO struct {
 	ports  PortMask
 	issued uint64
 	passed uint64
+
+	// removedMask is per-cycle scratch: which examined window entries left
+	// their queue (issued or passed ahead) this cycle.
+	removedMask []bool
 }
 
 // NewCASINO builds the cascade. sizes lists every queue's capacity in
@@ -28,12 +32,13 @@ type CASINO struct {
 // the per-queue read/write port counts (4 at 8-wide).
 func NewCASINO(sizes []int, window, pass, width int) *CASINO {
 	s := &CASINO{
-		queues: make([]fifo, len(sizes)),
+		queues: make([]Ring, len(sizes)),
 		window: window, pass: pass, width: width,
 	}
 	for i, n := range sizes {
-		s.queues[i].cap = n
+		s.queues[i].Init(n)
 	}
+	s.removedMask = make([]bool, window)
 	return s
 }
 
@@ -44,7 +49,7 @@ func (s *CASINO) Name() string { return "CASINO" }
 func (s *CASINO) Capacity() int {
 	n := 0
 	for i := range s.queues {
-		n += s.queues[i].cap
+		n += s.queues[i].Cap()
 	}
 	return n
 }
@@ -53,17 +58,17 @@ func (s *CASINO) Capacity() int {
 func (s *CASINO) Occupancy() int {
 	n := 0
 	for i := range s.queues {
-		n += s.queues[i].len()
+		n += s.queues[i].Len()
 	}
 	return n
 }
 
 // Dispatch implements Scheduler: μops enter the first S-IQ in order.
 func (s *CASINO) Dispatch(u *UOp, _ uint64) bool {
-	if s.queues[0].full() {
+	if s.queues[0].Full() {
 		return false
 	}
-	s.queues[0].push(u)
+	s.queues[0].Push(u)
 	s.events.QueueWrites++
 	return true
 }
@@ -79,8 +84,8 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 	// Final in-order IQ: strict program-order issue from the head.
 	last := &s.queues[len(s.queues)-1]
 	s.events.SelectInputs += uint64(s.width * s.window * len(s.queues))
-	for n := 0; n < s.window && !last.empty() && granted < s.width; n++ {
-		u := last.head()
+	for n := 0; n < s.window && !last.Empty() && granted < s.width; n++ {
+		u := last.Head()
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
 		if portUsed.Used(u.Port) || !ctx.Ready(u) {
@@ -89,7 +94,7 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 		ctx.Grant(u)
 		s.events.PayloadReads++
 		portUsed.Set(u.Port)
-		last.pop()
+		last.PopFront()
 		s.issued++
 		granted++
 	}
@@ -99,12 +104,15 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 		q := &s.queues[qi]
 		next := &s.queues[qi+1]
 		examine := s.window
-		if q.len() < examine {
-			examine = q.len()
+		if q.Len() < examine {
+			examine = q.Len()
 		}
-		issuedMask := make([]bool, examine)
+		removed := s.removedMask[:examine]
+		for n := range removed {
+			removed[n] = false
+		}
 		for n := 0; n < examine; n++ {
-			u := q.buf[n]
+			u := q.At(n)
 			s.events.QueueReads++
 			s.events.PSCBReads += 2
 			if granted >= s.width || portUsed.Used(u.Port) || !ctx.Ready(u) {
@@ -113,29 +121,28 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 			ctx.Grant(u)
 			s.events.PayloadReads++
 			portUsed.Set(u.Port)
-			issuedMask[n] = true
+			removed[n] = true
 			s.issued++
 			granted++
 		}
-		// Remove issued μops and pass the leading non-issued examined μops
-		// to the next queue, bounded by its write ports and capacity.
-		var keep []*UOp
+		// Pass the leading non-issued examined μops to the next queue,
+		// bounded by its write ports and capacity, then compact the window
+		// in place (issued and passed μops leave; survivors stay in order).
 		passedHere := 0
 		for n := 0; n < examine; n++ {
-			if issuedMask[n] {
+			if removed[n] {
 				continue
 			}
-			if passedHere < s.pass && !next.full() {
-				next.push(q.buf[n])
+			if passedHere < s.pass && !next.Full() {
+				next.Push(q.At(n))
 				s.events.QueueReads++
 				s.events.QueueWrites++ // the copy the paper charges CASINO for
 				s.passed++
 				passedHere++
-				continue
+				removed[n] = true
 			}
-			keep = append(keep, q.buf[n])
 		}
-		q.buf = append(keep, q.buf[examine:]...)
+		q.RemoveMarked(examine, removed)
 	}
 }
 
@@ -146,7 +153,7 @@ func (s *CASINO) Complete(rename.PhysReg, uint64) {}
 // individual queue is in program order, so truncate each.
 func (s *CASINO) Flush(seq uint64) {
 	for i := range s.queues {
-		s.queues[i].flushFrom(seq)
+		s.queues[i].FlushFrom(seq)
 	}
 }
 
@@ -154,15 +161,15 @@ func (s *CASINO) Flush(seq uint64) {
 func (s *CASINO) Queues() []QueueSnapshot {
 	qs := make([]QueueSnapshot, len(s.queues))
 	for i := range s.queues {
-		seqs := make([]uint64, len(s.queues[i].buf))
-		for j, u := range s.queues[i].buf {
-			seqs[j] = u.Seq()
+		seqs := make([]uint64, s.queues[i].Len())
+		for j := range seqs {
+			seqs[j] = s.queues[i].At(j).Seq()
 		}
 		name := fmt.Sprintf("S-IQ%d", i)
 		if i == len(s.queues)-1 {
 			name = "IQ"
 		}
-		qs[i] = QueueSnapshot{Name: name, FIFO: true, Cap: s.queues[i].cap, Seqs: seqs}
+		qs[i] = QueueSnapshot{Name: name, FIFO: true, Cap: s.queues[i].Cap(), Seqs: seqs}
 	}
 	return qs
 }

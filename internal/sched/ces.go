@@ -8,31 +8,6 @@ import (
 	"repro/internal/rename"
 )
 
-// fifo is a bounded in-order queue of μops used by the clustered designs.
-type fifo struct {
-	buf []*UOp
-	cap int
-}
-
-func (q *fifo) empty() bool { return len(q.buf) == 0 }
-func (q *fifo) full() bool  { return len(q.buf) >= q.cap }
-func (q *fifo) len() int    { return len(q.buf) }
-func (q *fifo) head() *UOp  { return q.buf[0] }
-func (q *fifo) push(u *UOp) { q.buf = append(q.buf, u) }
-func (q *fifo) pop() *UOp   { u := q.buf[0]; q.buf = q.buf[1:]; return u }
-func (q *fifo) tail() *UOp  { return q.buf[len(q.buf)-1] }
-
-// flushFrom drops every μop with seq ≥ bound. Entries are in program order
-// within a queue, so this truncates a suffix.
-func (q *fifo) flushFrom(bound uint64) {
-	for i, u := range q.buf {
-		if u.Seq() >= bound {
-			q.buf = q.buf[:i]
-			return
-		}
-	}
-}
-
 // CES is the complexity-effective superscalar scheduler of §II-B1:
 // a cluster of parallel in-order queues (P-IQs), each holding one
 // dependence chain, with steering at dispatch and per-queue-head issue.
@@ -40,7 +15,7 @@ func (q *fifo) flushFrom(bound uint64) {
 // With MDA enabled it additionally applies Ballerino's M-dependence-aware
 // steering (the "CES + MDA steering" bar of Figure 13).
 type CES struct {
-	iqs   []fifo
+	iqs   []Ring
 	rn    *rename.Renamer
 	mdp   *mdp.MDP
 	mda   bool
@@ -75,10 +50,10 @@ type CES struct {
 func NewCES(n, depth, width int, rn *rename.Renamer, m *mdp.MDP, mda bool) *CES {
 	s := &CES{
 		rn: rn, mdp: m, mda: mda, width: width,
-		iqs: make([]fifo, n),
+		iqs: make([]Ring, n),
 	}
 	for i := range s.iqs {
-		s.iqs[i].cap = depth
+		s.iqs[i].Init(depth)
 	}
 	return s
 }
@@ -95,7 +70,7 @@ func (s *CES) Name() string {
 func (s *CES) Capacity() int {
 	n := 0
 	for i := range s.iqs {
-		n += s.iqs[i].cap
+		n += s.iqs[i].Cap()
 	}
 	return n
 }
@@ -104,7 +79,7 @@ func (s *CES) Capacity() int {
 func (s *CES) Occupancy() int {
 	n := 0
 	for i := range s.iqs {
-		n += s.iqs[i].len()
+		n += s.iqs[i].Len()
 	}
 	return n
 }
@@ -146,7 +121,7 @@ func (s *CES) Dispatch(u *UOp, cycle uint64) bool {
 
 	// Dependence head (or split/full target): allocate an empty P-IQ.
 	for i := range s.iqs {
-		if s.iqs[i].empty() {
+		if s.iqs[i].Empty() {
 			s.enqueue(i, u)
 			if ready {
 				s.allocReady++
@@ -171,14 +146,14 @@ func (s *CES) Dispatch(u *UOp, cycle uint64) bool {
 // M-dependences override R-dependences when MDA steering is enabled (§III-B).
 func (s *CES) steerTarget(u *UOp) (int, bool) {
 	if s.mda && u.D.Op.IsMem() && u.SSID >= 0 {
-		if iq, reserved, ok := s.mdp.ProducerLocation(u.SSID); ok && !reserved && !s.iqs[iq].full() {
+		if iq, reserved, ok := s.mdp.ProducerLocation(u.SSID); ok && !reserved && !s.iqs[iq].Full() {
 			s.mdp.ReserveProducer(u.SSID)
 			return iq, true
 		}
 	}
 	for _, src := range u.Src {
 		iq, reserved, ok := s.rn.ProducerIQ(src)
-		if ok && !reserved && !s.iqs[iq].full() {
+		if ok && !reserved && !s.iqs[iq].Full() {
 			s.rn.ReserveProducer(src)
 			return iq, true
 		}
@@ -189,7 +164,7 @@ func (s *CES) steerTarget(u *UOp) (int, bool) {
 // enqueue appends u to P-IQ iq and records producer locations in the P-SCB
 // (and LFST for stores under MDA steering).
 func (s *CES) enqueue(iq int, u *UOp) {
-	s.iqs[iq].push(u)
+	s.iqs[iq].Push(u)
 	s.events.QueueWrites++
 	if u.Dst != rename.PhysNone {
 		s.rn.SetProducerIQ(u.Dst, iq)
@@ -208,11 +183,11 @@ func (s *CES) Issue(cycle uint64, ctx *IssueCtx) {
 	portUsed := &s.ports
 	for i := range s.iqs {
 		q := &s.iqs[i]
-		if q.empty() {
+		if q.Empty() {
 			s.headEmpty++
 			continue
 		}
-		u := q.head()
+		u := q.Head()
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
 		if portUsed.Used(u.Port) {
@@ -230,7 +205,7 @@ func (s *CES) Issue(cycle uint64, ctx *IssueCtx) {
 		ctx.Grant(u)
 		s.events.PayloadReads++
 		portUsed.Set(u.Port)
-		q.pop()
+		q.PopFront()
 		s.issued++
 		s.headIssue++
 	}
@@ -243,7 +218,7 @@ func (s *CES) Complete(rename.PhysReg, uint64) {}
 // Flush implements Scheduler.
 func (s *CES) Flush(seq uint64) {
 	for i := range s.iqs {
-		s.iqs[i].flushFrom(seq)
+		s.iqs[i].FlushFrom(seq)
 	}
 }
 
@@ -251,11 +226,11 @@ func (s *CES) Flush(seq uint64) {
 func (s *CES) Queues() []QueueSnapshot {
 	qs := make([]QueueSnapshot, len(s.iqs))
 	for i := range s.iqs {
-		seqs := make([]uint64, len(s.iqs[i].buf))
-		for j, u := range s.iqs[i].buf {
-			seqs[j] = u.Seq()
+		seqs := make([]uint64, s.iqs[i].Len())
+		for j := range seqs {
+			seqs[j] = s.iqs[i].At(j).Seq()
 		}
-		qs[i] = QueueSnapshot{Name: fmt.Sprintf("P-IQ%d", i), FIFO: true, Cap: s.iqs[i].cap, Seqs: seqs}
+		qs[i] = QueueSnapshot{Name: fmt.Sprintf("P-IQ%d", i), FIFO: true, Cap: s.iqs[i].Cap(), Seqs: seqs}
 	}
 	return qs
 }

@@ -43,6 +43,7 @@ func NewFXA(backendCap, width int, rn *rename.Renamer) *FXA {
 		rn:       rn,
 		ixuDepth: 3,
 		width:    width,
+		ixu:      make([]ixuOp, 0, 64),
 	}
 }
 

@@ -8,8 +8,7 @@ import (
 // FIFO issue queue from whose head consecutive ready μops issue strictly in
 // program order; the first non-ready μop blocks everything younger.
 type InO struct {
-	entries []*UOp // FIFO, entries[0] is the oldest
-	cap     int
+	entries Ring // FIFO, At(0) is the oldest
 	width   int
 	events  EnergyEvents
 	issued  uint64
@@ -20,24 +19,26 @@ type InO struct {
 // NewInO returns an in-order scheduler with the given queue capacity and
 // issue width.
 func NewInO(capacity, width int) *InO {
-	return &InO{cap: capacity, width: width}
+	s := &InO{width: width}
+	s.entries.Init(capacity)
+	return s
 }
 
 // Name implements Scheduler.
 func (s *InO) Name() string { return "InO" }
 
 // Capacity implements Scheduler.
-func (s *InO) Capacity() int { return s.cap }
+func (s *InO) Capacity() int { return s.entries.Cap() }
 
 // Occupancy implements Scheduler.
-func (s *InO) Occupancy() int { return len(s.entries) }
+func (s *InO) Occupancy() int { return s.entries.Len() }
 
 // Dispatch implements Scheduler.
 func (s *InO) Dispatch(u *UOp, _ uint64) bool {
-	if len(s.entries) >= s.cap {
+	if s.entries.Full() {
 		return false
 	}
-	s.entries = append(s.entries, u)
+	s.entries.Push(u)
 	s.events.QueueWrites++
 	return true
 }
@@ -48,8 +49,8 @@ func (s *InO) Issue(cycle uint64, ctx *IssueCtx) {
 	s.ports.Reset()
 	portUsed := &s.ports
 	granted := 0
-	for granted < s.width && len(s.entries) > 0 {
-		u := s.entries[0]
+	for granted < s.width && !s.entries.Empty() {
+		u := s.entries.Head()
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
 		if !ctx.Ready(u) || portUsed.Used(u.Port) {
@@ -59,7 +60,7 @@ func (s *InO) Issue(cycle uint64, ctx *IssueCtx) {
 		ctx.Grant(u)
 		s.events.PayloadReads++
 		portUsed.Set(u.Port)
-		s.entries = s.entries[1:]
+		s.entries.PopFront()
 		s.issued++
 		granted++
 	}
@@ -71,21 +72,16 @@ func (s *InO) Complete(rename.PhysReg, uint64) {}
 
 // Flush implements Scheduler.
 func (s *InO) Flush(seq uint64) {
-	for i, u := range s.entries {
-		if u.Seq() >= seq {
-			s.entries = s.entries[:i]
-			return
-		}
-	}
+	s.entries.FlushFrom(seq)
 }
 
 // Queues implements Inspector: the single in-order FIFO.
 func (s *InO) Queues() []QueueSnapshot {
-	seqs := make([]uint64, len(s.entries))
-	for i, u := range s.entries {
-		seqs[i] = u.Seq()
+	seqs := make([]uint64, s.entries.Len())
+	for i := range seqs {
+		seqs[i] = s.entries.At(i).Seq()
 	}
-	return []QueueSnapshot{{Name: "IQ", FIFO: true, Cap: s.cap, Seqs: seqs}}
+	return []QueueSnapshot{{Name: "IQ", FIFO: true, Cap: s.entries.Cap(), Seqs: seqs}}
 }
 
 // Energy implements Scheduler.

@@ -1,7 +1,7 @@
 package sched
 
 import (
-	"sort"
+	"math/bits"
 
 	"repro/internal/rename"
 )
@@ -15,6 +15,10 @@ type OoO struct {
 	free        []int  // free slot indices
 	width       int
 	oldestFirst bool
+
+	// occ mirrors slot occupancy as a bitmap so Issue can enumerate live
+	// entries in position order without scanning the nil slots.
+	occ []uint64
 
 	events EnergyEvents
 	issued uint64
@@ -31,8 +35,11 @@ type OoO struct {
 func NewOoO(capacity, width int, oldestFirst bool) *OoO {
 	s := &OoO{
 		slots:       make([]*UOp, capacity),
+		free:        make([]int, 0, capacity),
+		occ:         make([]uint64, (capacity+63)/64),
 		width:       width,
 		oldestFirst: oldestFirst,
+		order:       make([]int, 0, capacity),
 	}
 	for i := capacity - 1; i >= 0; i-- {
 		s.free = append(s.free, i)
@@ -62,6 +69,7 @@ func (s *OoO) Dispatch(u *UOp, _ uint64) bool {
 	idx := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
 	s.slots[idx] = u
+	s.occ[idx>>6] |= 1 << (uint(idx) & 63)
 	s.events.QueueWrites++
 	return true
 }
@@ -78,15 +86,26 @@ func (s *OoO) Issue(cycle uint64, ctx *IssueCtx) {
 	s.events.SelectInputs += uint64(s.width * len(s.slots))
 
 	s.order = s.order[:0]
-	for i, u := range s.slots {
-		if u != nil {
-			s.order = append(s.order, i)
+	for w, word := range s.occ {
+		for word != 0 {
+			s.order = append(s.order, w<<6+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
 	if s.oldestFirst {
-		sort.Slice(s.order, func(a, b int) bool {
-			return s.slots[s.order[a]].Seq() < s.slots[s.order[b]].Seq()
-		})
+		// Insertion sort by age: slots are recycled LIFO so the position
+		// order is already mostly sorted, and — seqs being unique — the
+		// result is identical to the reflect-based sort it replaces.
+		for i := 1; i < len(s.order); i++ {
+			idx := s.order[i]
+			seq := s.slots[idx].Seq()
+			j := i - 1
+			for j >= 0 && s.slots[s.order[j]].Seq() > seq {
+				s.order[j+1] = s.order[j]
+				j--
+			}
+			s.order[j+1] = idx
+		}
 	}
 
 	s.ports.Reset()
@@ -107,6 +126,7 @@ func (s *OoO) Issue(cycle uint64, ctx *IssueCtx) {
 		s.events.PayloadReads++
 		portUsed.Set(u.Port)
 		s.slots[idx] = nil
+		s.occ[idx>>6] &^= 1 << (uint(idx) & 63)
 		s.free = append(s.free, idx)
 		s.issued++
 		granted++
@@ -128,6 +148,7 @@ func (s *OoO) Flush(seq uint64) {
 	for i, u := range s.slots {
 		if u != nil && u.Seq() >= seq {
 			s.slots[i] = nil
+			s.occ[i>>6] &^= 1 << (uint(i) & 63)
 			s.free = append(s.free, i)
 		}
 	}

@@ -73,6 +73,20 @@ type UOp struct {
 	// Mispred marks a branch the front end predicted incorrectly; fetch
 	// stalls until it resolves.
 	Mispred bool
+
+	// Committed and WBDone are pipeline-owned recycling state: a μop can
+	// return to the free-list arena only once it has both left the ROB
+	// (committed or squashed) and had its completion event processed — the
+	// two events can land in either order within a cycle, so whichever
+	// happens second recycles the record.
+	Committed bool
+	// WBDone marks μops whose completion (writeback) event has fired.
+	WBDone bool
+
+	// WheelNext is the pipeline-owned intrusive link threading this μop
+	// into its completion-wheel bucket. A μop has at most one pending
+	// completion event, so event lists need no storage of their own.
+	WheelNext *UOp
 }
 
 // Seq returns the μop's dynamic sequence number.

@@ -36,7 +36,7 @@ type partial struct {
 // sequence numbers in [from, to), in commit order. Squashed attempts are
 // discarded; a refetched μop's timeline reflects its committed incarnation.
 func Assemble(events []obs.Event, from, to uint64) []UOp {
-	inflight := make(map[uint64]*partial)
+	inflight := make(map[uint64]*partial, 256)
 	var window []UOp
 	for i := range events {
 		e := &events[i]
@@ -86,7 +86,8 @@ func WriteKanata(out io.Writer, window []UOp) error {
 		cycle uint64
 		line  string
 	}
-	var events []event
+	// Eight log lines per μop (see the loop body below).
+	events := make([]event, 0, 8*len(window))
 	add := func(cycle uint64, format string, args ...any) {
 		events = append(events, event{cycle, fmt.Sprintf(format, args...)})
 	}

@@ -153,7 +153,10 @@ func (c Config) withDefaults() Config {
 type SimError struct {
 	// Stage is where the failure happened: "config" (invalid Config),
 	// "simulate" (deadlock, cycle budget, invariant violation), "golden"
-	// (golden-model divergence) or "internal" (recovered panic — a bug).
+	// (golden-model divergence), "canceled" (the caller's context was
+	// cancelled), "timeout" (the context's deadline passed — how a served
+	// job killed by its -job-timeout budget is distinguished from one its
+	// caller abandoned) or "internal" (recovered panic — a bug).
 	Stage    string
 	Arch     string
 	Workload string
@@ -389,11 +392,13 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // RunContext is Run with cooperative cancellation: when ctx is cancelled
-// (or its deadline passes) the simulation stops within a few thousand
-// cycles and returns a *SimError with Stage "canceled" that unwraps to
-// context.Canceled / context.DeadlineExceeded. Attached sinks are flushed
-// before returning, so a cancelled traced run still leaves valid partial
-// artifacts on disk.
+// the simulation stops within a few thousand cycles and returns a
+// *SimError with Stage "canceled" unwrapping to context.Canceled; when
+// ctx's deadline passes the run is killed the same way but the error's
+// Stage is "timeout" (unwrapping to context.DeadlineExceeded), so a
+// caller can tell a job killed by its deadline budget from one its
+// submitter abandoned. Attached sinks are flushed before returning, so a
+// cancelled traced run still leaves valid partial artifacts on disk.
 func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	start := time.Now()
 	rc, rerr := cfg.resolve()
@@ -410,11 +415,11 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	}
 	// simErr wraps a failure, pulling the cycle and the machine-state
 	// autopsy out of the typed pipeline errors when present. Cancellation
-	// overrides the stage so callers can tell an aborted run from a
-	// failed one without unwrapping.
+	// and deadline expiry override the stage so callers can tell an
+	// aborted or timed-out run from a failed one without unwrapping.
 	simErr := func(stage string, cause error) *SimError {
-		if errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
-			stage = "canceled"
+		if s, ok := ctxStage(cause); ok {
+			stage = s
 		}
 		se := &SimError{Stage: stage, Arch: cfg.Arch, Workload: cfg.Workload, Err: cause}
 		var de *check.DeadlockError

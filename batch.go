@@ -100,7 +100,11 @@ func RunAll(ctx context.Context, cfgs []Config, opts BatchOptions) *Batch {
 		// callers see one error shape.
 		var se *SimError
 		if rr.Err != nil && !errors.As(rr.Err, &se) {
-			rr.Err = &SimError{Stage: "canceled", Arch: cfgs[i].Arch,
+			stage, ok := ctxStage(rr.Err)
+			if !ok {
+				stage = "canceled"
+			}
+			rr.Err = &SimError{Stage: stage, Arch: cfgs[i].Arch,
 				Workload: cfgs[i].Workload, Err: rr.Err}
 		}
 		b.Results[i] = rr

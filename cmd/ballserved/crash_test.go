@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The crash-recovery e2e needs ballserved as a real OS process it can
+// `kill -9`. Rather than building a second binary, the test re-execs
+// this test binary: with BALLSERVED_E2E=1 TestMain skips the test
+// runner and becomes the server (flags arrive unit-separated in
+// BALLSERVED_E2E_ARGS). The child inherits the race detector, so data
+// races anywhere in the serving path fail the e2e too.
+func TestMain(m *testing.M) {
+	if os.Getenv("BALLSERVED_E2E") == "1" {
+		os.Exit(run(strings.Split(os.Getenv("BALLSERVED_E2E_ARGS"), "\x1f"), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// serverProc is one re-execed ballserved process.
+type serverProc struct {
+	cmd    *exec.Cmd
+	url    string
+	stderr *bytes.Buffer
+}
+
+// startServer re-execs the test binary as a ballserved process on an
+// ephemeral port and waits for its listen line.
+func startServer(t *testing.T, args ...string) *serverProc {
+	t.Helper()
+	args = append([]string{"-addr", "127.0.0.1:0"}, args...)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"BALLSERVED_E2E=1",
+		"BALLSERVED_E2E_ARGS="+strings.Join(args, "\x1f"),
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serverProc{cmd: cmd, stderr: &stderr}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "ballserved listening on "); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		p.url = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not report its address; stderr:\n%s", stderr.String())
+	}
+	return p
+}
+
+// stop SIGTERMs the process (graceful drain) and requires a clean exit —
+// a race report or leaked shutdown error in the child fails the test.
+func (p *serverProc) stop(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	if err := waitTimeout(p.cmd, 60*time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v; stderr:\n%s", err, p.stderr.String())
+	}
+}
+
+func waitTimeout(cmd *exec.Cmd, d time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		cmd.Process.Kill()
+		return fmt.Errorf("process did not exit within %s", d)
+	}
+}
+
+func getJobs(t *testing.T, url string) []telemetry.JobView {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var views []telemetry.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatalf("decode /jobs: %v", err)
+	}
+	return views
+}
+
+// canonicalManifests fetches every job's manifest and returns its
+// canonical bytes keyed by job ID.
+func canonicalManifests(t *testing.T, url string, n int) map[int][]byte {
+	t.Helper()
+	out := make(map[int][]byte, n)
+	for id := 1; id <= n; id++ {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", url, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v telemetry.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.State != telemetry.JobDone || v.Manifest == nil {
+			t.Fatalf("job %d = %q with manifest %v, want done with manifest", id, v.State, v.Manifest != nil)
+		}
+		b, err := v.Manifest.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id] = b
+	}
+	return out
+}
+
+func waitJobs(t *testing.T, url string, ok func([]telemetry.JobView) bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		if ok(getJobs(t, url)) {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; jobs now: %+v", what, getJobs(t, url))
+}
+
+// TestCrashRecoveryByteIdentical is the durability acceptance test: a
+// ballserved campaign is SIGKILLed mid-flight, restarted over the same
+// store directory, and must finish every job — the completed-before-crash
+// job served from the store, the in-flight and queued jobs resumed — with
+// canonical manifests byte-identical to an uninterrupted run of the same
+// playlist.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	// Job 1 finishes quickly; job 2 is long enough (tens of seconds under
+	// -race) that the kill lands while it is executing; job 3 is still
+	// queued behind it on the single worker.
+	playlist := filepath.Join(t.TempDir(), "jobs.json")
+	specs := `[
+		{"arch": "Ballerino", "workload": "store-load", "ops": 20000},
+		{"arch": "Ballerino", "workload": "stream", "ops": 400000},
+		{"arch": "CASINO", "workload": "store-load", "ops": 20000}
+	]`
+	if err := os.WriteFile(playlist, []byte(specs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 3
+	allDone := func(vs []telemetry.JobView) bool {
+		done := 0
+		for _, v := range vs {
+			if v.State == telemetry.JobDone {
+				done++
+			}
+		}
+		return done == jobs
+	}
+
+	storeDir := t.TempDir()
+	first := startServer(t, "-store-dir", storeDir, "-playlist", playlist, "-interval", "2000")
+	waitJobs(t, first.url, func(vs []telemetry.JobView) bool {
+		var oneDone, oneRunning bool
+		for _, v := range vs {
+			oneDone = oneDone || v.State == telemetry.JobDone
+			oneRunning = oneRunning || v.State == telemetry.JobRunning
+		}
+		return oneDone && oneRunning
+	}, "one job done and one running before the kill")
+	// The crash: no signal handler runs, no flush, no checkpoint.
+	if err := first.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	first.cmd.Wait()
+
+	// Same heartbeat as the killed server: the occupancy/pressure
+	// histograms in the manifest are sampled per heartbeat, so the
+	// byte-identical contract holds for a fixed observability config.
+	second := startServer(t, "-store-dir", storeDir, "-interval", "2000")
+	waitJobs(t, second.url, allDone, "recovery to finish every job")
+	views := getJobs(t, second.url)
+	var resumed, fromStore int
+	for _, v := range views {
+		if v.Resumed {
+			resumed++
+		}
+		if v.FromStore {
+			fromStore++
+		}
+	}
+	if resumed == 0 {
+		t.Errorf("no job flagged resumed after crash recovery: %+v", views)
+	}
+	if fromStore == 0 {
+		t.Errorf("pre-crash completed job not served from the store: %+v", views)
+	}
+	recovered := canonicalManifests(t, second.url, jobs)
+	second.stop(t)
+
+	clean := startServer(t, "-store-dir", t.TempDir(), "-playlist", playlist, "-interval", "2000")
+	waitJobs(t, clean.url, allDone, "uninterrupted run to finish")
+	baseline := canonicalManifests(t, clean.url, jobs)
+	clean.stop(t)
+
+	for id := 1; id <= jobs; id++ {
+		if !bytes.Equal(recovered[id], baseline[id]) {
+			t.Errorf("job %d: crash-recovered canonical manifest differs from clean run\nrecovered: %s\nclean:     %s",
+				id, recovered[id], baseline[id])
+		}
+	}
+}
+
+// TestGracefulDrainResumes: SIGTERM (not SIGKILL) mid-job leaves the
+// running job durably unfinished and the process exits 0; the next boot
+// resumes and completes it.
+func TestGracefulDrainResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	storeDir := t.TempDir()
+	playlist := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(playlist, []byte(`{"arch": "Ballerino", "workload": "stream", "ops": 400000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	first := startServer(t, "-store-dir", storeDir, "-playlist", playlist)
+	waitJobs(t, first.url, func(vs []telemetry.JobView) bool {
+		return len(vs) == 1 && vs[0].State == telemetry.JobRunning
+	}, "the job to start")
+	first.stop(t)
+
+	second := startServer(t, "-store-dir", storeDir)
+	waitJobs(t, second.url, func(vs []telemetry.JobView) bool {
+		return len(vs) == 1 && vs[0].State == telemetry.JobDone
+	}, "the drained job to resume and finish")
+	if vs := getJobs(t, second.url); !vs[0].Resumed {
+		t.Errorf("drained job not flagged resumed: %+v", vs[0])
+	}
+	// The durability counters are on /metrics for operators.
+	resp, err := http.Get(second.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "ballserved_jobs_resumed_total 1") {
+		t.Error("resumed_total not exported on /metrics")
+	}
+	second.stop(t)
+}

@@ -6,22 +6,32 @@
 //
 //	ballserved -addr :8344
 //	ballserved -addr :8344 -playlist jobs.json -interval 5000
+//	ballserved -addr :8344 -store-dir /var/lib/ballserved -max-retries 3 -job-timeout 2m
 //
 // Endpoints:
 //
 //	POST /jobs              submit a job ({"arch": ..., "workload": ..., "ops": ...})
 //	GET  /jobs, /jobs/{id}  job status (the latter includes the run manifest)
 //	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /deadletter        jobs whose retry budget is exhausted
+//	POST /jobs/{id}/retry   revive a dead-letter job
 //	GET  /metrics           Prometheus text exposition
 //	GET  /stream            Server-Sent Events heartbeat stream
-//	GET  /healthz, /readyz  liveness and readiness
+//	GET  /healthz, /readyz  liveness and readiness (503 while saturated or replaying)
 //	GET  /debug/pprof/      net/http/pprof
 //
 // The playlist file is a JSON array of job specs (a single object is also
-// accepted), enqueued in order at startup. SIGINT/SIGTERM trigger a
-// graceful shutdown: in-flight HTTP requests and the running job are given
-// -grace to finish, the running job's sinks are flushed, and queued jobs
-// are marked cancelled.
+// accepted), enqueued in order at startup.
+//
+// With -store-dir the job queue is durable: every lifecycle transition is
+// written ahead to an fsync'd log before it is acted on, so a crash —
+// even `kill -9` — loses nothing. On restart the log is replayed: jobs
+// that were queued, running or waiting on a retry re-enqueue, and jobs
+// whose config+trace content key already has a stored result are served
+// from the store without recomputation. SIGINT/SIGTERM trigger a
+// graceful drain: in-flight HTTP requests and running jobs are given
+// -grace to finish, sinks are flushed, and (with a store) unfinished
+// jobs keep their durable state so the next boot resumes them.
 package main
 
 import (
@@ -32,79 +42,128 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run is main minus the process plumbing, so the crash-recovery e2e can
+// re-exec the test binary as a real server process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ballserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", "localhost:8344", "HTTP listen address")
-		playlist = flag.String("playlist", "", "JSON file of job specs to enqueue at startup")
-		interval = flag.Uint64("interval", 0, "heartbeat interval in cycles (0 = 10000)")
-		queue    = flag.Int("queue", 0, "pending-job queue depth (0 = 64)")
-		workers  = flag.Int("workers", 1, "jobs executed concurrently (traces are shared across workers)")
-		grace    = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
+		addr       = fs.String("addr", "localhost:8344", "HTTP listen address")
+		playlist   = fs.String("playlist", "", "JSON file of job specs to enqueue at startup")
+		interval   = fs.Uint64("interval", 0, "heartbeat interval in cycles (0 = 10000)")
+		maxQueue   = fs.Int("max-queue", 0, "admission bound on pending jobs; beyond it submissions shed with 429 (0 = 64, negative = unbounded)")
+		workers    = fs.Int("workers", 1, "jobs executed concurrently (traces are shared across workers)")
+		grace      = fs.Duration("grace", 30*time.Second, "graceful shutdown budget")
+		storeDir   = fs.String("store-dir", "", "durable job-store directory (empty = in-memory only, no crash safety)")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-job execution deadline; a timed-out attempt fails with stage \"timeout\" (0 = none)")
+		maxRetries = fs.Int("max-retries", 0, "retries per job with capped exponential backoff before it parks in the dead-letter tier")
+		chaos      = fs.String("chaos", "", "seeded service-layer chaos, e.g. \"seed=7,fail=0.25\" (testing only)")
 	)
-	flag.Parse()
+	fs.Int("queue", 0, "deprecated alias for -max-queue")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *maxQueue == 0 {
+		if q := fs.Lookup("queue").Value.(flag.Getter).Get().(int); q != 0 {
+			*maxQueue = q
+		}
+	}
 
 	var specs []telemetry.JobSpec
 	if *playlist != "" {
 		var err error
 		if specs, err = loadPlaylist(*playlist); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			return 1
 		}
 	}
 
-	srv := telemetry.NewServer(telemetry.Options{
+	var store *jobstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = jobstore.Open(*storeDir); err != nil {
+			fmt.Fprintf(stderr, "job store: %v\n", err)
+			return 1
+		}
+		rec := store.Recovery()
+		fmt.Fprintf(stdout, "job store %s: %d records replayed, %d resumable, %d completed",
+			*storeDir, rec.Records, rec.Resumable, rec.Completed)
+		if rec.TornTail {
+			fmt.Fprint(stdout, " (torn tail truncated)")
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	srv, err := telemetry.NewServer(telemetry.Options{
 		HeartbeatCycles: *interval,
-		QueueDepth:      *queue,
+		QueueDepth:      *maxQueue,
 		Workers:         *workers,
+		Store:           store,
+		JobTimeout:      *jobTimeout,
+		MaxRetries:      *maxRetries,
+		ChaosSpec:       *chaos,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	srv.Start()
 	for i, spec := range specs {
 		job, err := srv.Submit(spec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "playlist entry %d: %v\n", i, err)
+			fmt.Fprintf(stderr, "playlist entry %d: %v\n", i, err)
 			return 1
 		}
-		fmt.Printf("queued job %d: %s on %s\n", job.ID, spec.Workload, spec.Arch)
+		fmt.Fprintf(stdout, "queued job %d: %s on %s\n", job.ID, spec.Workload, spec.Arch)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("ballserved listening on %s\n", *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	// The resolved address is printed (not just the flag) so harnesses
+	// using ":0" learn the real port.
+	fmt.Fprintf(stdout, "ballserved listening on %s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately
-	fmt.Println("shutting down...")
+	fmt.Fprintln(stdout, "shutting down...")
 
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	code := 0
 	if err := httpSrv.Shutdown(sctx); err != nil {
-		fmt.Fprintf(os.Stderr, "http shutdown: %v\n", err)
+		fmt.Fprintf(stderr, "http shutdown: %v\n", err)
 		code = 1
 	}
 	if err := srv.Shutdown(sctx); err != nil {
-		fmt.Fprintf(os.Stderr, "job worker shutdown: %v\n", err)
+		fmt.Fprintf(stderr, "job worker shutdown: %v\n", err)
 		code = 1
 	}
 	return code

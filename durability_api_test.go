@@ -1,0 +1,111 @@
+package ballerino_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	ballerino "repro"
+	"repro/uprog"
+)
+
+// TestRunContextDeadlineIsTimeoutStage: a run killed by its context's
+// deadline returns Stage "timeout" unwrapping to DeadlineExceeded —
+// distinct from the Stage "canceled" a cancelled caller sees — so the
+// job-status API can tell a -job-timeout kill from caller cancellation.
+func TestRunContextDeadlineIsTimeoutStage(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := ballerino.RunContext(ctx, ballerino.Config{
+		Arch: "Ballerino", Workload: "stream", MaxOps: 5_000_000,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var se *ballerino.SimError
+	if !errors.As(err, &se) || se.Stage != "timeout" {
+		t.Fatalf("err = %+v, want *SimError with Stage \"timeout\"", err)
+	}
+}
+
+// TestContentKeyIdentity: equal configurations (after defaulting) share
+// a content key; any timing-relevant knob separates them; custom
+// programs have no durable identity.
+func TestContentKeyIdentity(t *testing.T) {
+	base := ballerino.Config{Arch: "Ballerino", Workload: "stream", MaxOps: 10_000}
+	k1, err := base.ContentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaulted and explicit forms agree.
+	k2, err := ballerino.Config{
+		Arch: "Ballerino", Width: 8, Workload: "stream", MaxOps: 10_000, DVFS: "L4",
+	}.ContentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("defaulted key %q != explicit key %q", k1, k2)
+	}
+	for name, alt := range map[string]ballerino.Config{
+		"arch":     {Arch: "OoO", Workload: "stream", MaxOps: 10_000},
+		"width":    {Arch: "Ballerino", Width: 4, Workload: "stream", MaxOps: 10_000},
+		"workload": {Arch: "Ballerino", Workload: "store-load", MaxOps: 10_000},
+		"ops":      {Arch: "Ballerino", Workload: "stream", MaxOps: 20_000},
+		"warmup":   {Arch: "Ballerino", Workload: "stream", MaxOps: 10_000, WarmupOps: 1_000},
+		"mdp":      {Arch: "Ballerino", Workload: "stream", MaxOps: 10_000, DisableMDP: true},
+		"dvfs":     {Arch: "Ballerino", Workload: "stream", MaxOps: 10_000, DVFS: "L2"},
+		"faults":   {Arch: "Ballerino", Workload: "stream", MaxOps: 10_000, FaultSpec: "seed=1,jitter=8"},
+	} {
+		k, err := alt.ContentKey()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("%s variant has the same content key %q", name, k)
+		}
+	}
+	b := uprog.NewBuilder("custom-loop")
+	top := b.NewLabel()
+	b.Bind(top)
+	b.AddImm(uprog.R(1), uprog.R(1), 1)
+	b.Jmp(top)
+	if _, err := (ballerino.Config{Custom: b.Build()}).ContentKey(); err == nil {
+		t.Error("custom program produced a durable content key")
+	}
+}
+
+// TestCanonicalManifestByteIdentical: two independent runs of one
+// configuration serialize to byte-identical canonical manifests, and the
+// canonical form strips the environment-volatile fields.
+func TestCanonicalManifestByteIdentical(t *testing.T) {
+	cfg := ballerino.Config{Arch: "Ballerino", Workload: "store-load", MaxOps: 10_000}
+	r1, err := ballerino.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ballerino.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r1.Manifest.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Manifest.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("canonical manifests differ:\n%s\n%s", b1, b2)
+	}
+	c := r1.Manifest.Canonical()
+	if c.CreatedAt != "" || c.GoVersion != "" || c.Hostname != "" || c.WallSeconds != 0 {
+		t.Errorf("canonical manifest keeps volatile fields: %+v", c)
+	}
+	if c.Stats != r1.Manifest.Stats || c.Schema == "" {
+		t.Errorf("canonical manifest lost substantive fields")
+	}
+}

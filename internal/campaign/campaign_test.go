@@ -276,3 +276,59 @@ func TestCacheLRUEviction(t *testing.T) {
 		t.Errorf("after huge: entries/bytes = %d/%d, want 1/500", st.Entries, st.BytesUsed)
 	}
 }
+
+// TestCacheLeaderRequeuedAfterRecoveryRetry models the job-fabric crash
+// pattern end to end at the cache layer: the singleflight leader is
+// cancelled mid-generation (its job torn down for durable requeue), a
+// joiner with a live context retries the generation itself, and when the
+// leader's job is later re-enqueued by recovery its fresh Get must be
+// served from the joiner's now-ready value — one extra generation total,
+// never a poisoned entry.
+func TestCacheLeaderRequeuedAfterRecoveryRetry(t *testing.T) {
+	c := NewCache[int](0)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	inFlight := make(chan struct{})
+	var gens atomic.Int64
+	gen := func(ctx context.Context) (int, int64, error) {
+		if gens.Add(1) == 1 {
+			close(inFlight)
+			<-ctx.Done()
+			return 0, 0, ctx.Err()
+		}
+		return 11, 1, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Get(leaderCtx, "k", gen); !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v, want canceled", err)
+		}
+	}()
+	<-inFlight
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if v, err := c.Get(context.Background(), "k", gen); err != nil || v != 11 {
+			t.Errorf("joiner = (%d, %v), want (11, nil)", v, err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancelLeader() // the leader's job is killed for requeue
+	wg.Wait()
+
+	// The requeued job's new attempt: a fresh Get with a live context.
+	before := c.Stats()
+	v, err := c.Get(context.Background(), "k", gen)
+	if err != nil || v != 11 {
+		t.Fatalf("requeued leader = (%d, %v), want (11, nil)", v, err)
+	}
+	after := c.Stats()
+	if after.Misses != before.Misses || after.Hits != before.Hits+1 {
+		t.Errorf("requeued leader missed (misses %d→%d, hits %d→%d), want a pure hit",
+			before.Misses, after.Misses, before.Hits, after.Hits)
+	}
+	if got := gens.Load(); got != 2 {
+		t.Errorf("generator ran %d times, want 2 (cancelled leader + joiner retry)", got)
+	}
+}

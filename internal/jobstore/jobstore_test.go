@@ -1,0 +1,328 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func appendT(t *testing.T, s *Store, rec Record) {
+	t.Helper()
+	if err := s.Append(rec); err != nil {
+		t.Fatalf("Append(%+v): %v", rec, err)
+	}
+}
+
+// lifecycle writes one job's full history: submitted, a failed attempt,
+// then success.
+func lifecycle(t *testing.T, s *Store, id int, key string) {
+	t.Helper()
+	appendT(t, s, Record{Op: OpSubmitted, Job: id, Key: key, Spec: json.RawMessage(`{"arch":"Ballerino"}`)})
+	appendT(t, s, Record{Op: OpStarted, Job: id, Attempt: 1})
+	appendT(t, s, Record{Op: OpAttemptFailed, Job: id, Attempt: 1, Stage: "timeout", Error: "deadline"})
+	appendT(t, s, Record{Op: OpStarted, Job: id, Attempt: 2})
+	appendT(t, s, Record{Op: OpCompleted, Job: id, Key: key, Result: json.RawMessage(`{"ipc":1.5}`)})
+}
+
+// TestReplayRebuildsState: a reopened store replays the WAL into the
+// same job state the writer built in memory, including the
+// content-addressed result index and the resume set.
+func TestReplayRebuildsState(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	lifecycle(t, s, 1, "k1")
+	appendT(t, s, Record{Op: OpSubmitted, Job: 2, Key: "k2"})
+	appendT(t, s, Record{Op: OpStarted, Job: 2, Attempt: 1}) // running at "crash"
+	appendT(t, s, Record{Op: OpSubmitted, Job: 3, Key: "k3"})
+	appendT(t, s, Record{Op: OpCanceled, Job: 3})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir)
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.Records != 9 || rec.TornTail {
+		t.Errorf("recovery = %+v, want 9 records, no torn tail", rec)
+	}
+	if rec.Resumable != 1 || rec.Completed != 1 {
+		t.Errorf("recovery = %+v, want 1 resumable, 1 completed", rec)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(jobs))
+	}
+	j1, j2, j3 := jobs[0], jobs[1], jobs[2]
+	if j1.Terminal != OpCompleted || j1.Attempts != 2 || j1.Failures != 1 || j1.Stage != "timeout" {
+		t.Errorf("job 1 = %+v", j1)
+	}
+	if string(j1.Spec) != `{"arch":"Ballerino"}` {
+		t.Errorf("job 1 spec = %s", j1.Spec)
+	}
+	if !j2.Resumable() || j2.Attempts != 1 {
+		t.Errorf("job 2 = %+v, want resumable after 1 attempt", j2)
+	}
+	if j3.Terminal != OpCanceled {
+		t.Errorf("job 3 = %+v, want canceled", j3)
+	}
+	if res, ok := r.Result("k1"); !ok || string(res) != `{"ipc":1.5}` {
+		t.Errorf("Result(k1) = %s, %v", res, ok)
+	}
+	if _, ok := r.Result("k2"); ok {
+		t.Error("Result(k2) exists for an uncompleted job")
+	}
+	if got := r.MaxJobID(); got != 3 {
+		t.Errorf("MaxJobID = %d, want 3", got)
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial final
+// frame; reopen detects it, truncates it, and the next append lands on a
+// clean boundary.
+func TestTornTailTruncated(t *testing.T) {
+	for _, tail := range []string{
+		"0abc",                          // partial checksum
+		"00000000 {\"schema\":\"ball",   // partial payload
+		"deadbeef {\"schema\":\"x\"}\n", // checksum mismatch, terminated
+	} {
+		t.Run(strings.ReplaceAll(tail, " ", "_"), func(t *testing.T) {
+			dir := t.TempDir()
+			s := openT(t, dir)
+			lifecycle(t, s, 1, "k1")
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			r := openT(t, dir)
+			if rec := r.Recovery(); !rec.TornTail || rec.Records != 5 {
+				t.Errorf("recovery = %+v, want torn tail after 5 records", rec)
+			}
+			// The store stays appendable after truncation...
+			appendT(t, r, Record{Op: OpSubmitted, Job: 2, Key: "k2"})
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// ...and a third generation replays everything cleanly.
+			r2 := openT(t, dir)
+			defer r2.Close()
+			if rec := r2.Recovery(); rec.TornTail || rec.Records != 6 {
+				t.Errorf("post-truncate recovery = %+v, want 6 records, no torn tail", rec)
+			}
+		})
+	}
+}
+
+// TestCorruptionMidLogRejected: a bad frame with valid records after it
+// is corruption, not a torn tail.
+func TestCorruptionMidLogRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	lifecycle(t, s, 1, "k1")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	lines[1] = "00000000 {\"garbage\": true}\n" // bad checksum mid-log
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over mid-log corruption = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestUnterminatedValidTailReterminated: a crash after the record bytes
+// but before the newline leaves a whole, unterminated frame; reopen must
+// keep it and re-terminate so the next append does not glue onto it.
+func TestUnterminatedValidTailReterminated(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	lifecycle(t, s, 1, "k1")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-1], 0o644); err != nil { // strip final \n
+		t.Fatal(err)
+	}
+	r := openT(t, dir)
+	if rec := r.Recovery(); rec.Records != 5 || rec.TornTail {
+		t.Errorf("recovery = %+v, want all 5 records, no torn tail", rec)
+	}
+	appendT(t, r, Record{Op: OpSubmitted, Job: 2, Key: "k2"})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := openT(t, dir)
+	defer r2.Close()
+	if rec := r2.Recovery(); rec.Records != 6 || rec.TornTail {
+		t.Errorf("post-retermination recovery = %+v, want 6 records", rec)
+	}
+}
+
+// TestCheckpointCompaction: Checkpoint snapshots the state, truncates
+// the WAL, and replay over checkpoint+WAL equals replay over the full
+// history — including records appended after the checkpoint.
+func TestCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	lifecycle(t, s, 1, "k1")
+	appendT(t, s, Record{Op: OpSubmitted, Job: 2, Key: "k2"})
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Errorf("WAL after checkpoint: %v, size %d, want empty", err, fi.Size())
+	}
+	appendT(t, s, Record{Op: OpStarted, Job: 2, Attempt: 1})
+	appendT(t, s, Record{Op: OpCompleted, Job: 2, Key: "k2", Result: json.RawMessage(`{"ipc":2}`)})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir)
+	defer r.Close()
+	rec := r.Recovery()
+	if rec.CheckpointSeq != 6 || rec.Records != 2 {
+		t.Errorf("recovery = %+v, want checkpoint seq 6 + 2 WAL records", rec)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 2 || jobs[0].Terminal != OpCompleted || jobs[1].Terminal != OpCompleted {
+		t.Errorf("jobs after checkpointed replay = %+v", jobs)
+	}
+	if res, ok := r.Result("k2"); !ok || string(res) != `{"ipc":2}` {
+		t.Errorf("Result(k2) = %s, %v", res, ok)
+	}
+	if got := r.Results(); got != 2 {
+		t.Errorf("Results() = %d, want 2", got)
+	}
+}
+
+// TestSeqMonotonicAcrossCheckpoint: records appended after reopening a
+// checkpointed store keep strictly increasing sequence numbers, so a
+// stale WAL record can never shadow checkpoint state.
+func TestSeqMonotonicAcrossCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	lifecycle(t, s, 1, "k1")
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, dir)
+	appendT(t, r, Record{Op: OpSubmitted, Job: 2, Key: "k2"})
+	r.mu.Lock()
+	seq := r.seq
+	r.mu.Unlock()
+	if seq != 6 {
+		t.Errorf("seq after checkpointed reopen + append = %d, want 6", seq)
+	}
+	r.Close()
+}
+
+// TestInjectedAppendFailure: the chaos hook fails the armed append and
+// disarms; the store keeps working after, and the failed record was
+// never applied.
+func TestInjectedAppendFailure(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+	s.FailAppendsAfter(2)
+	appendT(t, s, Record{Op: OpSubmitted, Job: 1, Key: "k1"})
+	if err := s.Append(Record{Op: OpStarted, Job: 1, Attempt: 1}); err == nil {
+		t.Fatal("armed append did not fail")
+	}
+	if jobs := s.Jobs(); len(jobs) != 1 || jobs[0].Attempts != 0 {
+		t.Errorf("failed append leaked into state: %+v", jobs)
+	}
+	appendT(t, s, Record{Op: OpStarted, Job: 1, Attempt: 1}) // disarmed
+	if jobs := s.Jobs(); jobs[0].Attempts != 1 {
+		t.Errorf("append after disarm not applied: %+v", jobs)
+	}
+}
+
+// TestClosedStoreRefusesAppends: appends after Close fail loudly.
+func TestClosedStoreRefusesAppends(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Op: OpSubmitted, Job: 1}); err == nil {
+		t.Fatal("append on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+// TestForeignSchemaRejected: a record from a future schema version is
+// corruption (mid-log) or a torn tail (at the end) — never silently
+// misread.
+func TestForeignSchemaRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	lifecycle(t, s, 1, "k1")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A well-framed record of a different schema at the tail.
+	payload := `{"schema":"ballerino.job/v99","seq":99,"op":"submitted","job":9}`
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := func() error {
+		_, err := f.WriteString(frameFor(payload))
+		return err
+	}(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r := openT(t, dir)
+	defer r.Close()
+	if rec := r.Recovery(); !rec.TornTail || rec.Records != 5 {
+		t.Errorf("recovery over foreign-schema tail = %+v, want truncated", rec)
+	}
+	if len(r.Jobs()) != 1 {
+		t.Errorf("foreign record leaked into state: %+v", r.Jobs())
+	}
+}
+
+// frameFor mirrors Append's framing for hand-built test fixtures.
+func frameFor(payload string) string {
+	return fmt.Sprintf("%08x %s\n", crc32.Checksum([]byte(payload), crcTable), payload)
+}

@@ -143,6 +143,30 @@ func (m *Manifest) JSON() ([]byte, error) {
 	return json.MarshalIndent(m, "", "  ")
 }
 
+// Canonical returns a copy of the manifest with every
+// environment-volatile field — creation time, Go version, VCS revision,
+// hostname, wall time, sink paths — zeroed. Two runs of the same
+// configuration produce byte-identical canonical manifests regardless of
+// machine, process or wall clock: the equality the durable job store's
+// content-addressed results and the crash-recovery harness assert.
+func (m *Manifest) Canonical() *Manifest {
+	c := *m
+	c.CreatedAt = ""
+	c.GoVersion = ""
+	c.GitRevision = ""
+	c.Hostname = ""
+	c.WallSeconds = 0
+	c.Sinks = nil
+	return &c
+}
+
+// CanonicalJSON renders the canonical form compactly. encoding/json
+// marshals struct fields in declaration order and map keys sorted, so
+// equal canonical manifests serialize to equal bytes.
+func (m *Manifest) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(m.Canonical())
+}
+
 // WriteFile writes the manifest as indented JSON to path and records the
 // artifact in its own sink list.
 func (m *Manifest) WriteFile(path string) error {

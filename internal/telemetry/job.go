@@ -24,6 +24,10 @@ type JobSpec struct {
 	PIQDepth       int    `json:"piq_depth,omitempty"`
 	DisableMDP     bool   `json:"disable_mdp,omitempty"`
 	DVFS           string `json:"dvfs,omitempty"`
+	// MaxCycles aborts a stuck simulation after that many cycles (0 =
+	// 100× the dynamic μop budget) — the knob chaos and dead-letter tests
+	// use to make a job fail deterministically.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
 }
 
 // Config lowers the spec to a runnable ballerino.Config.
@@ -39,21 +43,44 @@ func (sp JobSpec) Config() ballerino.Config {
 		PIQDepth:       sp.PIQDepth,
 		DisableMDP:     sp.DisableMDP,
 		DVFS:           sp.DVFS,
+		MaxCycles:      sp.MaxCycles,
 	}
+}
+
+// Key returns the spec's config+trace content key — the identity the
+// durable store addresses completed results by. JobSpec cannot express a
+// custom program, so the key always exists for a valid spec.
+func (sp JobSpec) Key() (string, error) {
+	return sp.Config().ContentKey()
 }
 
 // JobState is a job's lifecycle phase.
 type JobState string
 
-// Job lifecycle: queued → running → done | failed | cancelled. A queued
-// job cancelled before it starts goes straight to cancelled.
+// Job lifecycle: queued → running → done | failed | cancelled, with two
+// durability detours: a failed attempt with retry budget left goes to
+// retrying (and back to queued when its backoff expires), and a job
+// whose retries are exhausted is parked in the dead-letter tier. A
+// queued or retrying job cancelled before it (re)starts goes straight to
+// cancelled.
 const (
 	JobQueued    JobState = "queued"
 	JobRunning   JobState = "running"
+	JobRetrying  JobState = "retrying"
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	JobParked    JobState = "parked" // dead-letter: retries exhausted
 )
+
+// terminal reports whether a state is final.
+func (st JobState) terminal() bool {
+	switch st {
+	case JobDone, JobFailed, JobCancelled, JobParked:
+		return true
+	}
+	return false
+}
 
 // Job is one queued or executed simulation.
 type Job struct {
@@ -62,9 +89,16 @@ type Job struct {
 
 	mu        sync.Mutex
 	state     JobState
+	key       string // config+trace content key
 	errMsg    string
+	stage     string // *SimError stage of the last failed attempt
+	attempts  int    // execution attempts started
+	resumed   bool   // re-enqueued by crash recovery
+	fromStore bool   // result served from the durable store, not computed
 	manifest  *obs.Manifest
 	cancel    func() // set while running; cancels the run context
+	requested bool   // an explicit cancel was asked for (vs server shutdown)
+	nextRetry time.Time
 	live      *liveJob
 	submitted time.Time
 	started   time.Time
@@ -76,6 +110,11 @@ type JobView struct {
 	ID          int           `json:"id"`
 	State       JobState      `json:"state"`
 	Error       string        `json:"error,omitempty"`
+	Stage       string        `json:"stage,omitempty"`
+	Attempts    int           `json:"attempts,omitempty"`
+	Resumed     bool          `json:"resumed,omitempty"`
+	FromStore   bool          `json:"from_store,omitempty"`
+	NextRetryAt string        `json:"next_retry_at,omitempty"`
 	Spec        JobSpec       `json:"spec"`
 	SubmittedAt string        `json:"submitted_at,omitempty"`
 	StartedAt   string        `json:"started_at,omitempty"`
@@ -100,10 +139,18 @@ func (j *Job) View(withManifest bool) JobView {
 		ID:          j.ID,
 		State:       j.state,
 		Error:       j.errMsg,
+		Stage:       j.stage,
+		Attempts:    j.attempts,
+		Resumed:     j.resumed,
+		FromStore:   j.fromStore,
+		NextRetryAt: fmtTime(j.nextRetry),
 		Spec:        j.Spec,
 		SubmittedAt: fmtTime(j.submitted),
 		StartedAt:   fmtTime(j.started),
 		FinishedAt:  fmtTime(j.finished),
+	}
+	if j.state != JobRetrying {
+		v.NextRetryAt = ""
 	}
 	if j.live != nil {
 		v.Intervals = j.live.intervalCount()
@@ -128,18 +175,35 @@ func (j *Job) Manifest() *obs.Manifest {
 	return j.manifest
 }
 
-// Cancel cancels the job: a queued job is marked cancelled immediately
-// (reported via the returned previous state), a running one has its run
-// context cancelled and reaches the cancelled state when the pipeline
-// notices. Terminal states are unaffected.
+// Key returns the job's config+trace content key.
+func (j *Job) Key() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.key
+}
+
+// Attempts returns the number of execution attempts started.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// Cancel cancels the job: a queued, retrying or parked job is marked
+// cancelled immediately (reported via the returned previous state), a
+// running one has its run context cancelled and reaches the cancelled
+// state when the pipeline notices. Terminal states are unaffected. Use
+// Server-side cancellation (the HTTP handler or Server.Shutdown) for
+// durable bookkeeping — Cancel itself never touches the WAL.
 func (j *Job) Cancel() JobState {
 	j.mu.Lock()
 	prev := j.state
 	switch j.state {
-	case JobQueued:
+	case JobQueued, JobRetrying, JobParked:
 		j.state = JobCancelled
 		j.finished = time.Now()
 	case JobRunning:
+		j.requested = true
 		if j.cancel != nil {
 			defer j.cancel()
 		}
@@ -224,6 +288,21 @@ func (l *liveJob) observe(iv obs.Interval, dump *obs.MetricsDump) {
 	l.mispredicts += iv.Mispredicts
 	l.violations += iv.Violations
 	l.dump = dump
+}
+
+// reset clears the accumulated state before a retry attempt re-runs the
+// job, so its gauges do not double-count across attempts.
+func (l *liveJob) reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.last = obs.Interval{}
+	l.intervals = 0
+	l.cycles, l.committed, l.fetched, l.issued = 0, 0, 0, 0
+	l.flushes, l.squashed, l.stalls = 0, 0, 0
+	l.mispredicts, l.violations = 0, 0
+	l.dump = nil
+	l.done = false
+	l.finalIPC, l.finalEnergyPJ, l.finalOccAvg = 0, 0, 0
 }
 
 // finish pins the live state to the run manifest, so the gauges exposed

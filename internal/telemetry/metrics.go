@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -25,20 +26,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ballserved_jobs_completed_total", "Jobs that finished successfully.", s.completed.Load()},
 		{"ballserved_jobs_failed_total", "Jobs that ended in a simulation error.", s.failed.Load()},
 		{"ballserved_jobs_cancelled_total", "Jobs cancelled before or during execution.", s.cancelled.Load()},
+		{"ballserved_jobs_shed_total", "Submissions refused by admission control (HTTP 429).", s.shed.Load()},
+		{"ballserved_job_retries_total", "Failed attempts re-enqueued after backoff.", s.retries.Load()},
+		{"ballserved_jobs_resumed_total", "Jobs re-enqueued by crash-recovery replay.", s.resumed.Load()},
+		{"ballserved_store_result_hits_total", "Results served from the durable store without recomputation.", s.storeHits.Load()},
+		{"ballserved_store_errors_total", "Durable-store append/decode failures (degraded durability).", s.storeErrors.Load()},
 	} {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}
 
 	s.mu.Lock()
 	live := s.live
-	running := len(s.running)
+	running := len(s.run)
+	deadletter := 0
+	for _, j := range s.order {
+		if j.State() == JobParked {
+			deadletter++
+		}
+	}
 	s.mu.Unlock()
 
 	tc := s.traces.Stats()
+	storeResults := 0
+	if s.store != nil {
+		storeResults = s.store.Results()
+	}
 	gauges := []obs.PromGauge{
 		{Name: "ballserved_ready", Help: "1 when the server accepts jobs.", Value: b2f(s.ready.Load())},
 		{Name: "ballserved_jobs_running", Help: "Jobs currently executing.", Value: float64(running)},
-		{Name: "ballserved_jobs_queued", Help: "Jobs waiting in the queue.", Value: float64(len(s.queue))},
+		{Name: "ballserved_jobs_queued", Help: "Jobs waiting in the queue.", Value: float64(s.q.len())},
+		{Name: "ballserved_queue_capacity", Help: "Admission-control bound on pending jobs (0 = unbounded).", Value: float64(max(s.opts.QueueDepth, 0))},
+		{Name: "ballserved_saturated", Help: "1 while admission control is shedding submissions.", Value: b2f(s.saturated())},
+		{Name: "ballserved_deadletter_jobs", Help: "Jobs parked in the dead-letter tier (retries exhausted).", Value: float64(deadletter)},
+		{Name: "ballserved_recovery_replay_seconds", Help: "Wall time of the last crash-recovery WAL replay.", Value: math.Float64frombits(s.replaySeconds.Load())},
+		{Name: "ballserved_store_results", Help: "Content-addressed results resident in the durable store.", Value: float64(storeResults)},
 		{Name: "ballserved_workers", Help: "Concurrent job workers.", Value: float64(s.opts.Workers)},
 		{Name: "ballserved_stream_subscribers", Help: "Connected /stream clients.", Value: float64(s.hub.count())},
 		{Name: "ballserved_trace_cache_hits_total", Help: "Trace-cache lookups served from a resident trace.", Value: float64(tc.Hits)},

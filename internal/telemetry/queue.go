@@ -1,0 +1,77 @@
+package telemetry
+
+import "sync"
+
+// jobQueue is the pending-job FIFO behind the worker pool. It is
+// internally unbounded: the admission-control bound (Options.QueueDepth)
+// is enforced at Submit for external work only, so recovery re-enqueues
+// and retry re-entries — work the server already owes — can never be
+// dropped by a full channel. Workers block in pop until work arrives or
+// the queue closes.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a job and wakes one worker. Pushes after close are
+// dropped (the jobs stay registered with the server; a durable store
+// resumes them on the next boot).
+func (q *jobQueue) push(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or the queue is closed; it returns
+// nil on close — even if items remain, so shutdown stops the workers
+// immediately and the leftovers are handled by drain.
+func (q *jobQueue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil
+	}
+	j := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j
+}
+
+// len returns the number of pending jobs.
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close wakes every blocked worker and refuses further pushes.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// drain removes and returns every still-pending job (call after close).
+func (q *jobQueue) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.items
+	q.items = nil
+	return items
+}

@@ -19,7 +19,7 @@ import (
 // on an httptest server. Both are torn down with the test.
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := NewServer(Options{HeartbeatCycles: 500})
+	s := mustServer(t, Options{HeartbeatCycles: 500})
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -29,6 +29,17 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 		s.Shutdown(ctx)
 	})
 	return s, ts
+}
+
+// mustServer builds a server (not yet started), failing the test on a
+// constructor error.
+func mustServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func submitJob(t *testing.T, ts *httptest.Server, spec JobSpec) JobView {
@@ -320,7 +331,7 @@ func TestCancelRunningJob(t *testing.T) {
 // accepting state, and Shutdown cancels the in-flight job and refuses new
 // submissions.
 func TestHealthReadyAndShutdown(t *testing.T) {
-	s := NewServer(Options{HeartbeatCycles: 500})
+	s := mustServer(t, Options{HeartbeatCycles: 500})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -430,7 +441,7 @@ func TestPlaylistJobsRunInOrder(t *testing.T) {
 // jobs over the same kernel share one cached trace (misses == distinct
 // kernels, the rest hits or singleflight joins).
 func TestMultiWorkerServer(t *testing.T) {
-	s := NewServer(Options{HeartbeatCycles: 500, Workers: 4})
+	s := mustServer(t, Options{HeartbeatCycles: 500, Workers: 4})
 	s.Start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {

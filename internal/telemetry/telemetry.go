@@ -1,23 +1,42 @@
-// Package telemetry is the live observability service behind cmd/ballserved:
-// a long-running HTTP server that executes simulation jobs (submitted via
-// POST /jobs or a startup playlist) one at a time and exposes
+// Package telemetry is the live observability and durable-execution
+// service behind cmd/ballserved: a long-running HTTP server that
+// executes simulation jobs (submitted via POST /jobs or a startup
+// playlist) on a worker pool and exposes
 //
-//   - GET /metrics — Prometheus text exposition: service counters, per-job
-//     gauges (IPC, scheduler occupancy, LQ/SQ pressure, P-IQ sharing rate)
-//     and the full obs.Registry dump of the current (or most recent) job;
+//   - GET /metrics — Prometheus text exposition: service counters
+//     (including shed/retry/dead-letter/recovery durability metrics),
+//     per-job gauges (IPC, scheduler occupancy, LQ/SQ pressure, P-IQ
+//     sharing rate) and the full obs.Registry dump of the current (or
+//     most recent) job;
 //   - GET /stream — Server-Sent Events pushing every heartbeat
 //     obs.Interval live as the simulation's cycles tick, plus job
 //     lifecycle transitions;
-//   - GET /healthz, /readyz — liveness and readiness;
+//   - GET /healthz, /readyz — liveness and readiness (/readyz degrades
+//     to 503 while the queue is saturated or crash recovery is still
+//     replaying, so load balancers stop routing to this node);
 //   - GET /jobs, /jobs/{id}, POST /jobs, POST /jobs/{id}/cancel — the job
 //     API (a running job cancels via the pipeline's cooperative context);
+//   - GET /deadletter, POST /jobs/{id}/retry — the dead-letter tier:
+//     jobs whose retry budget is exhausted, inspectable and revivable;
 //   - /debug/pprof/* — net/http/pprof.
+//
+// With Options.Store set, every job transition is written ahead to an
+// fsync'd WAL (internal/jobstore) before it is acted on: a crash — even
+// `kill -9` — loses nothing acknowledged. Start replays the log,
+// re-enqueues jobs that were queued, running or waiting on a retry, and
+// serves jobs whose config+trace content key already has a stored result
+// without recomputation. Failed attempts retry with capped exponential
+// backoff plus seeded jitter up to Options.MaxRetries, then park in the
+// dead-letter tier. Submissions beyond Options.QueueDepth are shed with
+// a typed SaturatedError the HTTP layer maps to 429 + Retry-After
+// (estimated by Little's law from the live service-time EWMA).
 //
 // The heartbeat plumbing rides the obs.Recorder interval fan-out: every
 // hook runs on the simulation goroutine, and the liveJob/hub layers do
 // their own locking to hand snapshots to HTTP handlers, so the server is
 // race-clean under `go test -race`. Shutdown cancels the running job,
-// flushes its sinks, and disconnects every stream subscriber.
+// flushes its sinks, disconnects every stream subscriber, and — with a
+// store — checkpoints so queued and running jobs resume on restart.
 package telemetry
 
 import (
@@ -25,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -33,6 +53,7 @@ import (
 	"time"
 
 	ballerino "repro"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 )
 
@@ -41,7 +62,11 @@ type Options struct {
 	// HeartbeatCycles is the served jobs' heartbeat period in simulation
 	// cycles (0 = obs.DefaultInterval).
 	HeartbeatCycles uint64
-	// QueueDepth bounds the pending-job queue (0 = 64).
+	// QueueDepth bounds externally submitted pending jobs (0 = 64;
+	// negative = unbounded). Submissions beyond it are shed with a
+	// *SaturatedError. Internal re-enqueues — crash recovery and retry
+	// backoff — bypass the bound: work the server already accepted is
+	// never dropped by admission control.
 	QueueDepth int
 	// Workers is the number of jobs executed concurrently (0 or negative =
 	// 1, the classic strictly-ordered queue).
@@ -50,65 +75,138 @@ type Options struct {
 	// cache (0 = ballerino.DefaultTraceCacheBytes, negative = unbounded).
 	// Jobs over the same kernel and μop budget share one generated trace.
 	TraceCacheBytes int64
+
+	// Store, when non-nil, makes the job queue durable: every lifecycle
+	// transition is WAL-appended before it is acted on, Start replays the
+	// log and re-enqueues unfinished jobs, and completed results are
+	// served by config+trace content key without recomputation. The
+	// server takes ownership: Shutdown checkpoints and closes it.
+	Store *jobstore.Store
+	// JobTimeout is the per-job execution deadline (0 = none). A job
+	// killed by it fails its attempt with a Stage "timeout" *SimError —
+	// distinct from caller cancellation — and is retried like any other
+	// failure.
+	JobTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried (with
+	// capped exponential backoff + jitter) before the job is parked in
+	// the dead-letter tier. 0 = no retries: a failed job goes straight to
+	// the failed state.
+	MaxRetries int
+	// RetryBaseDelay is the nominal delay before the first retry
+	// (0 = 250ms); each further retry doubles it up to RetryMaxDelay
+	// (0 = 15s). Every delay is jittered to 50–100% of nominal.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// ChaosSpec injects seeded service-layer chaos, e.g. "seed=7,fail=0.25"
+	// fails 25% of attempts (before they run) from a deterministic seeded
+	// stream — the internal/faults idiom lifted to the job fabric, used by
+	// the crash/degradation harnesses.
+	ChaosSpec string
 }
+
+// SaturatedError is returned by Submit when admission control sheds the
+// job: the pending queue is at QueueDepth. The HTTP layer renders it as
+// 429 Too Many Requests with a Retry-After estimated from the current
+// occupancy and the live service-time EWMA (Little's law).
+type SaturatedError struct {
+	Pending    int
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("telemetry: job queue saturated (%d pending); retry in %s", e.Pending, e.RetryAfter)
+}
+
+// ErrStoreDegraded wraps submissions refused because the durable store
+// could not persist the submitted record — accepting a job the WAL never
+// saw would break the crash-safety contract.
+var ErrStoreDegraded = errors.New("telemetry: durable store unavailable")
+
+// errChaosInjected is the synthetic failure the seeded chaos injector
+// assigns to an attempt it kills.
+var errChaosInjected = errors.New("chaos: injected attempt failure")
 
 // Server executes simulation jobs and serves their live telemetry. Create
 // with NewServer, start the worker with Start, mount Handler, and stop
 // with Shutdown.
 type Server struct {
-	opts Options
-	hub  *hub
+	opts  Options
+	hub   *hub
+	retry *retrier
+	store *jobstore.Store
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
-	queue     chan *Job
+	q         *jobQueue
 
-	started atomic.Bool
-	ready   atomic.Bool
+	started    atomic.Bool
+	ready      atomic.Bool
+	recovering atomic.Bool
 
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
 
+	shed        atomic.Uint64 // submissions refused by admission control
+	retries     atomic.Uint64 // attempt re-enqueues after backoff
+	storeHits   atomic.Uint64 // results served from the durable store
+	storeErrors atomic.Uint64 // WAL appends that failed (degraded mode)
+	resumed     atomic.Uint64 // jobs re-enqueued by crash recovery
+
+	replaySeconds atomic.Uint64 // math.Float64bits of the recovery replay duration
+
+	ewmaMu  sync.Mutex
+	ewmaSec float64 // EWMA of job attempt duration, seconds
+
 	traces *ballerino.TraceCache // shared across all served jobs
 
-	mu      sync.Mutex
-	jobs    map[int]*Job
-	order   []*Job
-	nextID  int
-	running map[int]*Job // jobs currently executing, by ID
-	live    *liveJob     // most recently started (or finished) job's live state
+	mu     sync.Mutex
+	jobs   map[int]*Job
+	order  []*Job
+	nextID int
+	run    map[int]*Job // jobs currently executing, by ID
+	live   *liveJob     // most recently started (or finished) job's live state
 }
 
-// NewServer builds a server (not yet running; call Start).
-func NewServer(opts Options) *Server {
-	if opts.QueueDepth <= 0 {
+// NewServer builds a server (not yet running; call Start). The only
+// constructor error is a malformed Options.ChaosSpec.
+func NewServer(opts Options) (*Server, error) {
+	if opts.QueueDepth == 0 {
 		opts.QueueDepth = 64
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
+	retry, err := newRetrier(opts.RetryBaseDelay, opts.RetryMaxDelay, opts.ChaosSpec)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		opts:      opts,
 		hub:       newHub(),
+		retry:     retry,
+		store:     opts.Store,
 		baseCtx:   ctx,
 		cancelAll: cancel,
-		queue:     make(chan *Job, opts.QueueDepth),
+		q:         newJobQueue(),
 		jobs:      make(map[int]*Job),
-		running:   make(map[int]*Job),
+		run:       make(map[int]*Job),
 		nextID:    1,
 		traces:    ballerino.NewTraceCache(opts.TraceCacheBytes),
-	}
+	}, nil
 }
 
-// Start launches the worker pool and marks the server ready. Idempotent.
+// Start replays the durable store (if any), re-enqueues unfinished jobs,
+// launches the worker pool and marks the server ready. Idempotent.
+// /readyz reports 503 until the recovery replay has finished.
 func (s *Server) Start() {
 	if s.started.Swap(true) {
 		return
 	}
+	s.recoverStore()
 	for i := 0; i < s.opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -116,14 +214,131 @@ func (s *Server) Start() {
 	s.ready.Store(true)
 }
 
-// Shutdown gracefully stops the server: readiness drops, the running job
-// is cancelled (its recorder is flushed by the worker before it exits),
-// queued jobs are marked cancelled, and every SSE subscriber is
-// disconnected. It returns ctx.Err() if the worker does not drain in
-// time.
+// recoverStore rebuilds the job table from the store's replayed state:
+// terminal jobs are registered as-is, unfinished jobs are re-enqueued
+// (or served straight from a stored result when one exists for their
+// content key), and jobs whose failure count already exceeds the retry
+// budget are parked in the dead-letter tier.
+func (s *Server) recoverStore() {
+	if s.store == nil {
+		return
+	}
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
+	start := time.Now()
+
+	for _, jr := range s.store.Jobs() {
+		job := &Job{ID: jr.ID, key: jr.Key, attempts: jr.Attempts, stage: jr.Stage, errMsg: jr.Error}
+		var spec JobSpec
+		specErr := json.Unmarshal(jr.Spec, &spec)
+		job.Spec = spec
+
+		switch {
+		case jr.Terminal == jobstore.OpCompleted:
+			job.state = JobDone
+			job.fromStore = true
+			job.manifest = decodeManifest(jr.Result)
+		case jr.Terminal == jobstore.OpCanceled:
+			job.state = JobCancelled
+		case specErr != nil:
+			job.state = JobParked
+			job.stage = "spec"
+			job.errMsg = fmt.Sprintf("recovered spec unreadable: %v", specErr)
+		case jr.Failures > s.opts.MaxRetries && jr.Failures > 0:
+			// The job had already exhausted (or would now exhaust) its
+			// retry budget when the process died.
+			if s.opts.MaxRetries > 0 {
+				job.state = JobParked
+			} else {
+				job.state = JobFailed
+			}
+		default:
+			if m := s.storedResult(jr.Key); m != nil {
+				// Idempotent resume: the grid point was computed before the
+				// crash under another job with the same content key.
+				job.state = JobDone
+				job.fromStore = true
+				job.manifest = m
+				job.errMsg, job.stage = "", ""
+				s.storeHits.Add(1)
+				s.appendWAL(jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: jr.Key, Result: jr.Result})
+			} else {
+				job.state = JobQueued
+				job.resumed = true
+				job.errMsg, job.stage = "", ""
+				s.resumed.Add(1)
+			}
+		}
+
+		s.mu.Lock()
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job)
+		s.mu.Unlock()
+		if job.state == JobQueued {
+			s.q.push(job)
+		}
+	}
+	s.mu.Lock()
+	s.nextID = s.store.MaxJobID() + 1
+	s.mu.Unlock()
+
+	total := s.store.Recovery().Duration + time.Since(start)
+	s.replaySeconds.Store(math.Float64bits(total.Seconds()))
+}
+
+// storedResult decodes the stored canonical manifest for a content key,
+// or nil when the key has no stored result (or it fails to decode, which
+// counts as a store error and falls back to recomputation).
+func (s *Server) storedResult(key string) *obs.Manifest {
+	if s.store == nil || key == "" {
+		return nil
+	}
+	raw, ok := s.store.Result(key)
+	if !ok {
+		return nil
+	}
+	m := decodeManifest(raw)
+	if m == nil {
+		s.storeErrors.Add(1)
+	}
+	return m
+}
+
+func decodeManifest(raw json.RawMessage) *obs.Manifest {
+	if len(raw) == 0 {
+		return nil
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil
+	}
+	return &m
+}
+
+// appendWAL persists one lifecycle record. Append failures degrade
+// gracefully: the server keeps executing (counting storeErrors so
+// operators see the durability loss) rather than collapsing mid-job.
+func (s *Server) appendWAL(rec jobstore.Record) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Append(rec); err != nil {
+		s.storeErrors.Add(1)
+	}
+}
+
+// Shutdown gracefully stops the server: readiness drops, running jobs
+// are cancelled (their recorders flushed by the workers before exiting),
+// retry timers abandon their jobs mid-backoff, and every SSE subscriber
+// is disconnected. Without a store, still-queued jobs are marked
+// cancelled; with one, queued/running/retrying jobs keep their durable
+// state — the WAL has them as unfinished, so the next Start re-enqueues
+// them (graceful drain doubles as a checkpoint for resume). It returns
+// ctx.Err() if the workers do not drain in time.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
 	s.cancelAll()
+	s.q.close()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -135,21 +350,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
-	// Whatever never started is cancelled, not silently dropped.
-	for {
-		select {
-		case job := <-s.queue:
-			if job.Cancel() == JobQueued {
-				s.cancelled.Add(1)
-			}
-		default:
-			s.hub.close()
-			return err
+	for _, job := range s.q.drain() {
+		if s.store != nil {
+			continue // resumable: submitted record survives in the WAL
+		}
+		if job.Cancel() == JobQueued {
+			s.cancelled.Add(1)
 		}
 	}
+	s.hub.close()
+	if s.store != nil {
+		if cerr := s.store.Checkpoint(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		if cerr := s.store.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+	}
+	return err
 }
 
-// Submit validates and enqueues one job.
+// Submit validates and enqueues one job. Beyond the admission bound it
+// returns a *SaturatedError; with a degraded durable store it returns an
+// error wrapping ErrStoreDegraded. When the store already holds a result
+// for the job's content key, the job completes immediately from the
+// store without recomputation.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if !s.started.Load() || !s.ready.Load() {
 		return nil, errors.New("telemetry: server not accepting jobs")
@@ -157,25 +382,91 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Config().Validate(); err != nil {
 		return nil, err
 	}
+	key, err := spec.Key()
+	if err != nil {
+		return nil, err
+	}
+	if pending := s.q.len(); s.opts.QueueDepth > 0 && pending >= s.opts.QueueDepth {
+		s.shed.Add(1)
+		return nil, &SaturatedError{Pending: pending, RetryAfter: s.retryAfter(pending)}
+	}
+
 	s.mu.Lock()
-	job := &Job{ID: s.nextID, Spec: spec, state: JobQueued, submitted: time.Now()}
+	job := &Job{ID: s.nextID, Spec: spec, key: key, state: JobQueued, submitted: time.Now()}
 	s.nextID++
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job)
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- job:
-	default:
-		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
-		return nil, fmt.Errorf("telemetry: job queue full (%d pending)", cap(s.queue))
+	if s.store != nil {
+		specRaw, merr := json.Marshal(spec)
+		if merr == nil {
+			merr = s.store.Append(jobstore.Record{Op: jobstore.OpSubmitted, Job: job.ID, Key: key, Spec: specRaw})
+		}
+		if merr != nil {
+			// A job the WAL never saw must not be accepted: drop it and
+			// surface the degraded store to the caller.
+			s.mu.Lock()
+			delete(s.jobs, job.ID)
+			s.order = s.order[:len(s.order)-1]
+			s.mu.Unlock()
+			s.storeErrors.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrStoreDegraded, merr)
+		}
+		if m := s.storedResult(key); m != nil {
+			// Content-addressed dedup: this grid point is already computed.
+			raw, _ := s.store.Result(key)
+			s.appendWAL(jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: key, Result: raw})
+			job.mu.Lock()
+			job.state = JobDone
+			job.fromStore = true
+			job.manifest = m
+			job.finished = time.Now()
+			job.mu.Unlock()
+			s.storeHits.Add(1)
+			s.submitted.Add(1)
+			s.completed.Add(1)
+			s.hub.publish("job", job.View(false))
+			return job, nil
+		}
 	}
+
+	s.q.push(job)
 	s.submitted.Add(1)
 	s.hub.publish("job", job.View(false))
 	return job, nil
+}
+
+// retryAfter estimates how long a shed client should wait before
+// resubmitting: Little's-law expected drain time of the current backlog
+// (pending × service-time EWMA / workers), clamped to [1s, 60s].
+func (s *Server) retryAfter(pending int) time.Duration {
+	s.ewmaMu.Lock()
+	svc := s.ewmaSec
+	s.ewmaMu.Unlock()
+	if svc <= 0 {
+		svc = 1
+	}
+	wait := time.Duration(svc * float64(pending) / float64(s.opts.Workers) * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if wait > time.Minute {
+		wait = time.Minute
+	}
+	return wait
+}
+
+// observeDuration folds one attempt's wall time into the service-time
+// EWMA behind Retry-After.
+func (s *Server) observeDuration(d time.Duration) {
+	s.ewmaMu.Lock()
+	if s.ewmaSec == 0 {
+		s.ewmaSec = d.Seconds()
+	} else {
+		s.ewmaSec = 0.7*s.ewmaSec + 0.3*d.Seconds()
+	}
+	s.ewmaMu.Unlock()
 }
 
 // Job looks a job up by ID.
@@ -185,28 +476,40 @@ func (s *Server) Job(id int) *Job {
 	return s.jobs[id]
 }
 
+// saturated reports whether admission control is currently shedding.
+func (s *Server) saturated() bool {
+	return s.opts.QueueDepth > 0 && s.q.len() >= s.opts.QueueDepth
+}
+
 // worker executes queued jobs until shutdown. With Options.Workers > 1
 // several workers drain the one queue concurrently; each simulation is
 // independent, and traces are shared through the server's cache.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.baseCtx.Done():
+		job := s.q.pop()
+		if job == nil {
 			return
-		case job := <-s.queue:
-			s.runJob(job)
 		}
+		s.runJob(job)
 	}
 }
 
-// runJob executes one job: a caller-owned recorder is built with the
-// event-counting sink and an interval fan-out hook that updates the live
-// gauges and publishes to the SSE hub, then ballerino.RunContext runs
-// under the job's cancellable context. The recorder is always closed
-// (flushing any sinks) before the job reaches a terminal state.
+// runJob executes one attempt of one job: the started record is written
+// ahead, then a caller-owned recorder is built with the event-counting
+// sink and an interval fan-out hook that updates the live gauges and
+// publishes to the SSE hub, and ballerino.RunContext runs under the
+// job's cancellable (and, with -job-timeout, deadline-bounded) context.
+// The terminal classification routes failures into retry backoff or the
+// dead-letter tier and successes into the durable result store.
 func (s *Server) runJob(job *Job) {
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	var runCtx context.Context
+	var cancel context.CancelFunc
+	if s.opts.JobTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(s.baseCtx, s.opts.JobTimeout)
+	} else {
+		runCtx, cancel = context.WithCancel(s.baseCtx)
+	}
 	defer cancel()
 
 	job.mu.Lock()
@@ -215,68 +518,169 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	job.state = JobRunning
+	job.attempts++
+	attempt := job.attempts
 	job.started = time.Now()
 	job.cancel = cancel
-	live := newLiveJob(job)
-	job.live = live
+	job.requested = false
+	if job.live != nil {
+		job.live.reset()
+	} else {
+		job.live = newLiveJob(job)
+	}
+	live := job.live
 	job.mu.Unlock()
 
 	s.mu.Lock()
-	s.running[job.ID] = job
+	s.run[job.ID] = job
 	s.live = live
 	s.mu.Unlock()
 
-	rec := obs.NewRecorder(s.opts.HeartbeatCycles, &live.events)
-	rec.OnInterval(func(iv obs.Interval) {
-		// Simulation goroutine: reading the registry here is safe by the
-		// recorder's single-threaded contract, and Dump is a deep copy.
-		live.observe(iv, rec.Registry().Dump())
-		s.hub.publish("interval", streamInterval{
-			Job: job.ID, Arch: job.Spec.Arch, Workload: job.Spec.Workload,
-			IPC: iv.IPC(), Interval: iv,
-		})
-	})
+	s.appendWAL(jobstore.Record{Op: jobstore.OpStarted, Job: job.ID, Attempt: attempt})
 	s.hub.publish("job", job.View(false))
 
-	cfg := job.Spec.Config()
-	cfg.Recorder = rec
-	// Share the μop trace across jobs over the same kernel. A Prepare
-	// failure (bad config, cancellation) is deliberately dropped here:
-	// RunContext reproduces the identical error below, on the path that
-	// already classifies it.
-	if t, terr := s.traces.Prepare(ctx, cfg); terr == nil {
-		cfg.Trace = t
+	begin := time.Now()
+	var res *ballerino.Result
+	var err error
+	var flushMsg string
+	if s.retry.chaosFail() {
+		err = errChaosInjected
+	} else {
+		rec := obs.NewRecorder(s.opts.HeartbeatCycles, &live.events)
+		rec.OnInterval(func(iv obs.Interval) {
+			// Simulation goroutine: reading the registry here is safe by the
+			// recorder's single-threaded contract, and Dump is a deep copy.
+			live.observe(iv, rec.Registry().Dump())
+			s.hub.publish("interval", streamInterval{
+				Job: job.ID, Arch: job.Spec.Arch, Workload: job.Spec.Workload,
+				IPC: iv.IPC(), Interval: iv,
+			})
+		})
+		cfg := job.Spec.Config()
+		cfg.Recorder = rec
+		// Share the μop trace across jobs over the same kernel. A Prepare
+		// failure (bad config, cancellation) is deliberately dropped here:
+		// RunContext reproduces the identical error below, on the path that
+		// already classifies it.
+		if t, terr := s.traces.Prepare(runCtx, cfg); terr == nil {
+			cfg.Trace = t
+		}
+		res, err = ballerino.RunContext(runCtx, cfg)
+		if cerr := rec.Close(); cerr != nil {
+			flushMsg = fmt.Sprintf("sink flush: %v", cerr)
+		}
 	}
-	res, err := ballerino.RunContext(ctx, cfg)
-	cerr := rec.Close()
-
-	job.mu.Lock()
-	job.finished = time.Now()
-	job.cancel = nil
-	switch {
-	case err != nil && errors.Is(err, context.Canceled):
-		job.state = JobCancelled
-		job.errMsg = err.Error()
-		s.cancelled.Add(1)
-	case err != nil:
-		job.state = JobFailed
-		job.errMsg = err.Error()
-		s.failed.Add(1)
-	default:
-		job.state = JobDone
-		job.manifest = res.Manifest
-		live.finish(res.Manifest)
-		s.completed.Add(1)
-	}
-	if cerr != nil && job.errMsg == "" {
-		job.errMsg = fmt.Sprintf("sink flush: %v", cerr)
-	}
-	job.mu.Unlock()
+	s.observeDuration(time.Since(begin))
 
 	s.mu.Lock()
-	delete(s.running, job.ID)
+	delete(s.run, job.ID)
 	s.mu.Unlock()
+
+	s.settle(job, attempt, res, err, flushMsg)
 	s.hub.publish("job", job.View(false))
+}
+
+// settle applies one attempt's outcome: done (durably recording the
+// canonical result), cancelled (durably only when the cancel was asked
+// for — a shutdown leaves the job resumable), retrying (backoff timer),
+// or failed/parked when the retry budget is spent.
+func (s *Server) settle(job *Job, attempt int, res *ballerino.Result, err error, flushMsg string) {
+	var se *ballerino.SimError
+	stage := ""
+	if errors.As(err, &se) {
+		stage = se.Stage
+	}
+
+	switch {
+	case err == nil:
+		var canonical []byte
+		if res.Manifest != nil {
+			canonical, _ = res.Manifest.CanonicalJSON()
+		}
+		s.appendWAL(jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: job.key, Result: canonical})
+		job.mu.Lock()
+		job.state = JobDone
+		job.manifest = res.Manifest
+		job.errMsg, job.stage = flushMsg, ""
+		job.finished = time.Now()
+		job.cancel = nil
+		job.live.finish(res.Manifest)
+		job.mu.Unlock()
+		s.completed.Add(1)
+
+	case stage == "canceled" || errors.Is(err, context.Canceled):
+		job.mu.Lock()
+		requested := job.requested
+		job.state = JobCancelled
+		job.errMsg, job.stage = err.Error(), stage
+		job.finished = time.Now()
+		job.cancel = nil
+		job.mu.Unlock()
+		s.cancelled.Add(1)
+		if requested {
+			s.appendWAL(jobstore.Record{Op: jobstore.OpCanceled, Job: job.ID, Error: err.Error()})
+		}
+		// Not requested: the server is shutting down — leave the WAL
+		// showing an unfinished job so the next boot resumes it.
+
+	default:
+		if stage == "" {
+			stage = "service"
+		}
+		s.appendWAL(jobstore.Record{Op: jobstore.OpAttemptFailed, Job: job.ID, Attempt: attempt,
+			Stage: stage, Error: err.Error()})
+		if attempt <= s.opts.MaxRetries {
+			delay := s.retry.backoff(attempt)
+			job.mu.Lock()
+			job.state = JobRetrying
+			job.errMsg, job.stage = err.Error(), stage
+			job.nextRetry = time.Now().Add(delay)
+			job.cancel = nil
+			job.mu.Unlock()
+			s.retries.Add(1)
+			s.scheduleRetry(job, delay)
+			return
+		}
+		job.mu.Lock()
+		if s.opts.MaxRetries > 0 {
+			job.state = JobParked
+		} else {
+			job.state = JobFailed
+		}
+		job.errMsg, job.stage = err.Error(), stage
+		job.finished = time.Now()
+		job.cancel = nil
+		job.mu.Unlock()
+		s.failed.Add(1)
+	}
+}
+
+// scheduleRetry re-enqueues the job after its backoff delay. The timer
+// aborts on shutdown, leaving the job in the retrying state — with a
+// durable store the WAL still shows it unfinished, so the next boot
+// picks it back up.
+func (s *Server) scheduleRetry(job *Job, delay time.Duration) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		job.mu.Lock()
+		if job.state != JobRetrying { // cancelled mid-backoff
+			job.mu.Unlock()
+			return
+		}
+		job.state = JobQueued
+		job.nextRetry = time.Time{}
+		job.mu.Unlock()
+		s.q.push(job)
+		s.hub.publish("job", job.View(false))
+	}()
 }
 
 // streamInterval is the SSE payload of one heartbeat.
@@ -295,24 +699,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/retry", s.handleRetry)
+	mux.HandleFunc("GET /deadletter", s.handleDeadLetter)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if !s.ready.Load() {
-			http.Error(w, "not ready", http.StatusServiceUnavailable)
-			return
-		}
-		w.Write([]byte("ready\n"))
-	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleReady implements /readyz: a load balancer should stop routing
+// here while the server is down, still replaying its WAL, or shedding
+// load — not only when it is fully stopped.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.recovering.Load():
+		http.Error(w, "recovering: WAL replay in progress", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	case s.saturated():
+		http.Error(w, "saturated: job queue at capacity", http.StatusServiceUnavailable)
+	default:
+		w.Write([]byte("ready\n"))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -332,7 +748,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.Submit(spec)
-	if err != nil {
+	var sat *SaturatedError
+	switch {
+	case errors.As(err, &sat):
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(sat.RetryAfter.Seconds()))))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": sat.Error()})
+		return
+	case errors.Is(err, ErrStoreDegraded):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case err != nil:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
@@ -346,6 +771,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	views := make([]JobView, len(jobs))
 	for i, j := range jobs {
 		views[i] = j.View(false)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+// handleDeadLetter lists the parked jobs: everything the retry machinery
+// gave up on, with the stage and error of the last failed attempt.
+func (s *Server) handleDeadLetter(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	views := []JobView{}
+	for _, j := range jobs {
+		if j.State() == JobParked {
+			views = append(views, j.View(false))
+		}
 	}
 	writeJSON(w, http.StatusOK, views)
 }
@@ -374,10 +814,39 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if job == nil {
 		return
 	}
-	if prev := job.Cancel(); prev == JobQueued {
+	switch prev := job.Cancel(); prev {
+	case JobQueued, JobRetrying, JobParked:
 		s.cancelled.Add(1)
+		s.appendWAL(jobstore.Record{Op: jobstore.OpCanceled, Job: job.ID, Error: "cancelled before execution"})
 		s.hub.publish("job", job.View(false))
 	}
+	writeJSON(w, http.StatusOK, job.View(false))
+}
+
+// handleRetry revives a parked (dead-letter) job: its attempt budget is
+// reset and it re-enters the queue. Note the revival is in-memory only —
+// if the server crashes before the revived job finishes, recovery parks
+// it again (its durable failure history still exceeds the budget).
+func (s *Server) handleRetry(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFromPath(w, r)
+	if job == nil {
+		return
+	}
+	job.mu.Lock()
+	if job.state != JobParked {
+		state := job.state
+		job.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("job %d is %s, not parked", job.ID, state)})
+		return
+	}
+	job.state = JobQueued
+	job.attempts = 0
+	job.errMsg, job.stage = "", ""
+	job.finished = time.Time{}
+	job.mu.Unlock()
+	s.q.push(job)
+	s.hub.publish("job", job.View(false))
 	writeJSON(w, http.StatusOK, job.View(false))
 }
 

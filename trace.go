@@ -49,6 +49,42 @@ func (t *Trace) sizeBytes() int64 {
 	return n
 }
 
+// ctxStage classifies a context-ended failure into its SimError stage:
+// deadline expiry is a "timeout" (the job's time budget ran out),
+// cancellation is "canceled" (the caller abandoned the run). Any other
+// cause keeps the stage the failure site chose.
+func ctxStage(cause error) (string, bool) {
+	switch {
+	case errors.Is(cause, context.DeadlineExceeded):
+		return "timeout", true
+	case errors.Is(cause, context.Canceled):
+		return "canceled", true
+	}
+	return "", false
+}
+
+// ContentKey returns the config's full content identity: the trace key
+// (kernel, footprint, dynamic budget) plus every timing-relevant knob
+// (architecture, width, queue geometry, MDP, DVFS, fault plan). Two
+// configs with equal content keys produce byte-identical canonical run
+// manifests — the property the durable job store relies on to serve a
+// resubmitted grid point from its stored result instead of recomputing.
+// Custom programs are rejected: their identity is process-local pointer
+// identity, which does not survive a restart.
+func (c Config) ContentKey() (string, error) {
+	rc, err := c.resolve()
+	if err != nil {
+		return "", err
+	}
+	if rc.Custom != nil {
+		return "", &SimError{Stage: "config", Arch: rc.Arch, Workload: rc.Workload,
+			Err: fmt.Errorf("custom programs have no durable content key")}
+	}
+	return fmt.Sprintf("arch:%s|w:%d|piqs:%d.%d|mdp:%t|dvfs:%s|faults:%s|audit:%t|%s",
+		rc.Arch, rc.Width, rc.NumPIQs, rc.PIQDepth, !rc.DisableMDP, rc.DVFS,
+		rc.FaultSpec, rc.Audit, traceKey(rc.Config)), nil
+}
+
 // traceKey derives the content key of the trace a config needs. cfg must
 // already be defaulted. Named kernels are identified by (name, footprint);
 // custom programs by the program value itself (programs are immutable
@@ -94,7 +130,7 @@ func generateTrace(ctx context.Context, program *prog.Program, cfg Config) (*pro
 // of Configs (Config.Trace) whose workload identity, footprint and
 // warm-up + μop budget match cfg's, and RunContext skips its own
 // generation step. Every failure is a *SimError ("config", "trace", or
-// "canceled" when ctx ends mid-generation).
+// "canceled"/"timeout" when ctx ends mid-generation).
 func PrepareTrace(ctx context.Context, cfg Config) (*Trace, error) {
 	rc, err := cfg.resolve()
 	if err != nil {
@@ -105,8 +141,8 @@ func PrepareTrace(ctx context.Context, cfg Config) (*Trace, error) {
 
 func prepareResolved(ctx context.Context, rc resolved) (*Trace, error) {
 	simErr := func(stage string, cause error) *SimError {
-		if errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
-			stage = "canceled"
+		if s, ok := ctxStage(cause); ok {
+			stage = s
 		}
 		return &SimError{Stage: stage, Arch: rc.Arch, Workload: rc.Workload, Err: cause}
 	}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 	"repro/internal/sched"
+	"repro/internal/span"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/uprog"
@@ -443,6 +444,10 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	// generation dominates start-up for multi-million-μop jobs, so it
 	// honours ctx too: a served job cancelled while still generating aborts
 	// instead of waiting out the interpreter.
+	// Lifecycle span, when the caller threaded one through ctx (the
+	// serving stack does; library callers usually don't, and the nil-safe
+	// span API makes that free).
+	sp := span.FromContext(ctx)
 	var trace *prog.Trace
 	if cfg.Trace != nil {
 		trace = cfg.Trace.tr
@@ -451,8 +456,12 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		if perr != nil {
 			return nil, simErr("config", perr)
 		}
+		gsp := sp.Child("trace.generate")
+		gsp.SetAttr("workload", cfg.Workload)
 		var terr error
 		trace, terr = generateTrace(ctx, program, rc.Config)
+		gsp.Fail(terr)
+		gsp.End()
 		if terr != nil {
 			return nil, simErr("trace", terr)
 		}
@@ -510,19 +519,31 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 
 	measured := uint64(len(trace.Ops))
 	if cfg.WarmupOps > 0 && len(trace.Ops) > cfg.WarmupOps {
+		wsp := sp.Child("sim.warmup")
+		wsp.SetInt("ops", int64(cfg.WarmupOps))
 		if err := p.WarmupContext(ctx, uint64(cfg.WarmupOps)); err != nil {
+			wsp.Fail(err)
+			wsp.End()
 			return nil, simErr("simulate", fmt.Errorf("warmup: %w", err))
 		}
+		wsp.End()
 		measured = uint64(len(trace.Ops) - cfg.WarmupOps)
 	}
 	// Attach after warm-up: interval deltas then cover exactly the measured
 	// region and sum to the final statistics.
 	p.AttachObs(rec)
+	rsp := sp.Child("sim.run")
+	rsp.SetAttr("arch", cfg.Arch)
+	rsp.SetAttr("workload", cfg.Workload)
+	rsp.SetInt("ops", int64(measured))
 	s, err := p.RunContext(ctx, measured)
 	if err != nil {
+		rsp.Fail(err)
+		rsp.End()
 		rec.Finish(p.ObsSnapshot()) // close the partial interval before the flush
 		return nil, simErr("simulate", err)
 	}
+	rsp.End()
 	rec.Finish(p.ObsSnapshot())
 	if replay != nil {
 		if rerr := replay.Err(); rerr != nil {

@@ -1,11 +1,14 @@
 package ballerino_test
 
 import (
+	"context"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	ballerino "repro"
 	"repro/internal/exp"
+	"repro/internal/span"
 )
 
 // benchOpts keeps the per-figure benchmarks affordable: a representative
@@ -204,6 +207,53 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+	})
+}
+
+// BenchmarkSpanOverhead measures the cost of lifecycle tracing on a full
+// simulation driven through RunContext: "off" runs with no span in the
+// context (the nil-tracer state — every instrumentation site is one
+// failed context lookup or untaken nil check, expected within noise,
+// ≤3%), "traced" runs under a live root span so trace generation, warm-up
+// and the run record themselves. "nil-api" pins the off state's
+// zero-alloc claim on the span API itself.
+func BenchmarkSpanOverhead(b *testing.B) {
+	const ops = 50_000
+	base := ballerino.Config{Arch: "Ballerino", Workload: "mixed", MaxOps: ops}
+
+	b.Run("off", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ballerino.RunContext(ctx, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+	})
+	b.Run("traced", func(b *testing.B) {
+		tracer := span.NewTracer(-1)
+		for i := 0; i < b.N; i++ {
+			root := tracer.Start(span.DeriveID(strconv.Itoa(i)), "job")
+			ctx := span.ContextWith(context.Background(), root)
+			if _, err := ballerino.RunContext(ctx, base); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+		}
+		b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+	})
+	b.Run("nil-api", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := span.FromContext(ctx) // nil: tracing off
+			child := sp.Child("attempt")
+			child.SetAttr("k", "v")
+			child.Fail(nil)
+			child.End()
+			_ = span.ContextWith(ctx, child)
+		}
 	})
 }
 

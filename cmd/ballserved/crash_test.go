@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -202,6 +203,18 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 		}
 		return oneDone && oneRunning
 	}, "one job done and one running before the kill")
+	// Remember the running job's identity: its trace must survive the
+	// crash under the same ID.
+	var victimID int
+	var victimTrace string
+	for _, v := range getJobs(t, first.url) {
+		if v.State == telemetry.JobRunning {
+			victimID, victimTrace = v.ID, v.TraceID
+		}
+	}
+	if victimTrace == "" {
+		t.Fatal("running job has no trace_id before the kill")
+	}
 	// The crash: no signal handler runs, no flush, no checkpoint.
 	if err := first.cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
@@ -230,6 +243,52 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 		t.Errorf("pre-crash completed job not served from the store: %+v", views)
 	}
 	recovered := canonicalManifests(t, second.url, jobs)
+
+	// The killed job's span tree must span both process lifetimes under
+	// one stable trace ID: the pre-crash attempt synthesized from the WAL
+	// (marked interrupted), a replay span, and the live post-recovery
+	// attempt that finished the job.
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/spans", second.url, victimID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree span.Tree
+	if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+		t.Fatalf("decode spans: %v", err)
+	}
+	resp.Body.Close()
+	if tree.TraceID != victimTrace {
+		t.Errorf("post-recovery trace ID %q, want the pre-crash %q", tree.TraceID, victimTrace)
+	}
+	var walAttempts, interrupted, liveAttempts, replays int
+	for _, v := range tree.Spans {
+		switch v.Name {
+		case "attempt":
+			if v.Attr("source") == "wal" {
+				walAttempts++
+				if v.Attr("interrupted") == "true" {
+					interrupted++
+				}
+			} else {
+				liveAttempts++
+			}
+		case "replay":
+			replays++
+		}
+		if v.Open {
+			t.Errorf("span %q still open in the finished job's trace", v.Name)
+		}
+	}
+	if walAttempts == 0 || interrupted == 0 {
+		t.Errorf("no interrupted WAL-synthesized attempt in trace (%d wal, %d interrupted)",
+			walAttempts, interrupted)
+	}
+	if replays != 1 {
+		t.Errorf("%d replay spans, want 1", replays)
+	}
+	if liveAttempts == 0 {
+		t.Error("no live post-recovery attempt span in trace")
+	}
 	second.stop(t)
 
 	clean := startServer(t, "-store-dir", t.TempDir(), "-playlist", playlist, "-interval", "2000")

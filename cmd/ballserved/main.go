@@ -15,13 +15,23 @@
 //	POST /jobs/{id}/cancel  cancel a queued or running job
 //	GET  /deadletter        jobs whose retry budget is exhausted
 //	POST /jobs/{id}/retry   revive a dead-letter job
-//	GET  /metrics           Prometheus text exposition
+//	GET  /jobs/{id}/spans   lifecycle span timeline (?format=json|text|chrome)
+//	GET  /metrics           Prometheus text exposition (latency histograms carry
+//	                        exemplar trace IDs linking buckets to span trees)
 //	GET  /stream            Server-Sent Events heartbeat stream
 //	GET  /healthz, /readyz  liveness and readiness (503 while saturated or replaying)
-//	GET  /debug/pprof/      net/http/pprof
+//	GET  /debug/pprof/      net/http/pprof (worker goroutines are labeled with
+//	                        job ID, workload and arch)
 //
 // The playlist file is a JSON array of job specs (a single object is also
 // accepted), enqueued in order at startup.
+//
+// Every job's lifecycle is traced: a span tree (submit → queue.wait →
+// attempt → result.store, with WAL, backoff and simulation children)
+// correlated by a trace ID derived deterministically from the job ID —
+// stable across restarts, so a trace spans crashes. Structured logs
+// (-log-format text|json, written to stderr) carry the trace ID on every
+// lifecycle record.
 //
 // With -store-dir the job queue is durable: every lifecycle transition is
 // written ahead to an fsync'd log before it is acted on, so a crash —
@@ -42,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -50,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/jobstore"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -73,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobTimeout = fs.Duration("job-timeout", 0, "per-job execution deadline; a timed-out attempt fails with stage \"timeout\" (0 = none)")
 		maxRetries = fs.Int("max-retries", 0, "retries per job with capped exponential backoff before it parks in the dead-letter tier")
 		chaos      = fs.String("chaos", "", "seeded service-layer chaos, e.g. \"seed=7,fail=0.25\" (testing only)")
+		logFormat  = fs.String("log-format", "text", "structured log format on stderr: text or json")
+		maxTraces  = fs.Int("max-traces", 0, "lifecycle span trees retained for /jobs/{id}/spans (0 = 1024, negative = tracing off)")
 	)
 	fs.Int("queue", 0, "deprecated alias for -max-queue")
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +96,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if q := fs.Lookup("queue").Value.(flag.Getter).Get().(int); q != 0 {
 			*maxQueue = q
 		}
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(stderr, nil)
+	default:
+		fmt.Fprintf(stderr, "bad -log-format %q: want text or json\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
+
+	var tracer *span.Tracer
+	if *maxTraces >= 0 {
+		tracer = span.NewTracer(*maxTraces)
 	}
 
 	var specs []telemetry.JobSpec
@@ -117,6 +148,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		JobTimeout:      *jobTimeout,
 		MaxRetries:      *maxRetries,
 		ChaosSpec:       *chaos,
+		Tracer:          tracer,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -132,6 +165,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "queued job %d: %s on %s\n", job.ID, spec.Workload, spec.Arch)
 	}
 
+	// Catch shutdown signals before announcing the address: a harness
+	// that SIGTERMs as soon as it sees the listen line must hit the
+	// graceful path, not the default disposition.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -143,9 +182,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// The resolved address is printed (not just the flag) so harnesses
 	// using ":0" learn the real port.
 	fmt.Fprintf(stdout, "ballserved listening on %s\n", ln.Addr())
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errCh:
 		fmt.Fprintln(stderr, err)

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"repro/internal/span"
 )
 
 // CacheStats is a point-in-time snapshot of a Cache's behaviour. Hits,
@@ -64,7 +66,23 @@ func NewCache[V any](budgetBytes int64) *Cache[V] {
 // entry is dropped, and the next Get retries. A waiter whose own context
 // is still live when the generating caller was cancelled retries the
 // generation itself instead of inheriting the foreign cancellation.
+//
+// When ctx carries a lifecycle span (span.FromContext), the lookup is
+// recorded as a "cache.lookup" child annotated with its outcome — hit,
+// join, or miss — and gen runs under that child, so generation work
+// nests inside the lookup in the job's span tree.
 func (c *Cache[V]) Get(ctx context.Context, key string, gen func(context.Context) (V, int64, error)) (V, error) {
+	sp := span.FromContext(ctx).Child("cache.lookup")
+	v, outcome, err := c.get(span.ContextWith(ctx, sp), key, gen)
+	sp.SetAttr("outcome", outcome)
+	sp.Fail(err)
+	sp.End()
+	return v, err
+}
+
+// get is Get's uninstrumented core; it additionally reports which path
+// produced the result ("hit", "join", "miss").
+func (c *Cache[V]) get(ctx context.Context, key string, gen func(context.Context) (V, int64, error)) (V, string, error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
@@ -74,7 +92,7 @@ func (c *Cache[V]) Get(ctx context.Context, key string, gen func(context.Context
 					c.stats.Hits++
 					c.touch(e)
 					c.mu.Unlock()
-					return e.val, nil
+					return e.val, "hit", nil
 				}
 				// A failed entry still in the map is being torn down by its
 				// generator; drop our reference and retry below.
@@ -85,15 +103,15 @@ func (c *Cache[V]) Get(ctx context.Context, key string, gen func(context.Context
 				select {
 				case <-e.ready:
 					if e.err == nil {
-						return e.val, nil
+						return e.val, "join", nil
 					}
 					if isCtxErr(e.err) && ctx.Err() == nil {
 						continue // leader cancelled, we were not: retry
 					}
-					return e.val, e.err
+					return e.val, "join", e.err
 				case <-ctx.Done():
 					var zero V
-					return zero, ctx.Err()
+					return zero, "join", ctx.Err()
 				}
 			}
 			continue
@@ -115,7 +133,7 @@ func (c *Cache[V]) Get(ctx context.Context, key string, gen func(context.Context
 		}
 		c.mu.Unlock()
 		close(e.ready)
-		return v, err
+		return v, "miss", err
 	}
 }
 

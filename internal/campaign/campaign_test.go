@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/span"
 )
 
 // TestRunOrderingAndIsolation: outcomes land in submission order, a failed
@@ -257,7 +259,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	get("a", 40)
 	get("b", 40)
-	get("a", 0) // touch a: b becomes LRU
+	get("a", 0)  // touch a: b becomes LRU
 	get("c", 40) // evicts b
 	st := c.Stats()
 	if st.Evictions != 1 || st.Entries != 2 || st.BytesUsed != 80 {
@@ -330,5 +332,56 @@ func TestCacheLeaderRequeuedAfterRecoveryRetry(t *testing.T) {
 	}
 	if got := gens.Load(); got != 2 {
 		t.Errorf("generator ran %d times, want 2 (cancelled leader + joiner retry)", got)
+	}
+}
+
+// TestCacheLookupSpans: a context-carried lifecycle span records one
+// "cache.lookup" child per Get, annotated with the outcome, and the
+// generator runs nested under the lookup span.
+func TestCacheLookupSpans(t *testing.T) {
+	tr := span.NewTracer(0)
+	root := tr.Start("t", "job")
+	ctx := span.ContextWith(context.Background(), root)
+
+	c := NewCache[int](0)
+	gen := func(ctx context.Context) (int, int64, error) {
+		if sp := span.FromContext(ctx); sp != nil {
+			sp.Child("trace.generate").End()
+		}
+		return 7, 1, nil
+	}
+	if v, err := c.Get(ctx, "k", gen); v != 7 || err != nil {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if v, err := c.Get(ctx, "k", gen); v != 7 || err != nil {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	root.End()
+
+	tree := tr.Tree("t")
+	var outcomes []string
+	for _, v := range tree.Spans {
+		if v.Name == "cache.lookup" {
+			if v.Open {
+				t.Error("cache.lookup span left open")
+			}
+			outcomes = append(outcomes, v.Attr("outcome"))
+		}
+	}
+	if len(outcomes) != 2 || outcomes[0] != "miss" || outcomes[1] != "hit" {
+		t.Errorf("lookup outcomes = %v, want [miss hit]", outcomes)
+	}
+	// The generator's span must be a child of the miss lookup.
+	genSpan, ok := tree.Find("trace.generate")
+	if !ok {
+		t.Fatal("no trace.generate span")
+	}
+	lookup, _ := tree.Find("cache.lookup")
+	if genSpan.Parent != lookup.ID {
+		t.Errorf("trace.generate parent = %d, want lookup %d", genSpan.Parent, lookup.ID)
+	}
+	// Untraced context: Gets still work, nothing recorded.
+	if v, err := c.Get(context.Background(), "k2", gen); v != 7 || err != nil {
+		t.Fatalf("untraced Get = %d, %v", v, err)
 	}
 }

@@ -70,6 +70,19 @@ type Record struct {
 	Result  json.RawMessage `json:"result,omitempty"`  // completed
 }
 
+// HistoryEvent is one lifecycle transition retained per job: the op, the
+// wall-clock time the WAL recorded for it, and the attempt/stage/error
+// details where the op carries them. History is what lets a restarted
+// server reconstruct a job's pre-crash timeline — the lifecycle tracer
+// synthesizes spans from these events at their original timestamps.
+type HistoryEvent struct {
+	Op      Op        `json:"op"`
+	Time    time.Time `json:"time"`
+	Attempt int       `json:"attempt,omitempty"`
+	Stage   string    `json:"stage,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
 // JobRecord is the replayed state of one job: what the WAL (and the
 // checkpoint beneath it) says happened to it so far.
 type JobRecord struct {
@@ -82,6 +95,7 @@ type JobRecord struct {
 	Error    string          `json:"error,omitempty"`    // error of the last failed attempt
 	Terminal Op              `json:"terminal,omitempty"` // "", OpCompleted or OpCanceled
 	Result   json.RawMessage `json:"result,omitempty"`   // canonical manifest when Terminal == OpCompleted
+	History  []HistoryEvent  `json:"history,omitempty"`  // every transition, in WAL order
 }
 
 // Resumable reports whether the job must be re-enqueued by recovery: it
@@ -124,6 +138,32 @@ type Store struct {
 	// succeed — the seeded-chaos hook the service-layer crash harness uses
 	// to exercise degraded-store paths without a real disk failure.
 	failAppends int64
+
+	// observer, when set, receives per-append latency stats (see
+	// SetObserver). Called outside mu.
+	observer func(AppendStats)
+}
+
+// AppendStats is one Append's latency breakdown, delivered to the
+// observer installed with SetObserver: how long the whole durable write
+// took and how much of that was the fsync — the dominant term on real
+// disks and the source of the ballserved_wal_fsync_seconds histogram.
+type AppendStats struct {
+	Op    Op
+	Job   int
+	Total time.Duration
+	Fsync time.Duration
+}
+
+// SetObserver installs fn to receive AppendStats after every successful
+// Append. fn is invoked outside the store's lock (it may call back into
+// the store) but serialised per-store with other appends' observations
+// in WAL order is NOT guaranteed — treat it as a metrics sink, not a
+// replication stream. nil uninstalls.
+func (s *Store) SetObserver(fn func(AppendStats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -317,6 +357,12 @@ func (s *Store) apply(rec *Record) {
 		j = &JobRecord{ID: rec.Job}
 		s.jobs[rec.Job] = j
 	}
+	// Retain the transition itself (with the WAL's wall-clock time) so a
+	// restarted server can rebuild the job's pre-crash timeline.
+	ts, _ := time.Parse(time.RFC3339Nano, rec.Time)
+	j.History = append(j.History, HistoryEvent{
+		Op: rec.Op, Time: ts, Attempt: rec.Attempt, Stage: rec.Stage, Error: rec.Error,
+	})
 	switch rec.Op {
 	case OpSubmitted:
 		j.Key = rec.Key
@@ -348,14 +394,16 @@ func (s *Store) apply(rec *Record) {
 // fsyncs, and folds it into the in-memory state. The record is durable
 // when Append returns nil.
 func (s *Store) Append(rec Record) error {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return errors.New("jobstore: store closed")
 	}
 	if s.failAppends > 0 {
 		s.failAppends--
 		if s.failAppends == 0 {
+			s.mu.Unlock()
 			return errors.New("jobstore: injected append failure (chaos)")
 		}
 	}
@@ -366,16 +414,26 @@ func (s *Store) Append(rec Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		s.seq--
+		s.mu.Unlock()
 		return fmt.Errorf("jobstore: %w", err)
 	}
 	frame := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload)
 	if _, err := s.f.WriteString(frame); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("jobstore: %w", err)
 	}
+	syncStart := time.Now()
 	if err := s.f.Sync(); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("jobstore: %w", err)
 	}
+	fsync := time.Since(syncStart)
 	s.apply(&rec)
+	observer := s.observer
+	s.mu.Unlock()
+	if observer != nil {
+		observer(AppendStats{Op: rec.Op, Job: rec.Job, Total: time.Since(start), Fsync: fsync})
+	}
 	return nil
 }
 

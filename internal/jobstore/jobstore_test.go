@@ -326,3 +326,99 @@ func TestForeignSchemaRejected(t *testing.T) {
 func frameFor(payload string) string {
 	return fmt.Sprintf("%08x %s\n", crc32.Checksum([]byte(payload), crcTable), payload)
 }
+
+// TestHistorySurvivesReplayAndCheckpoint: the per-job transition history
+// — the raw material for post-crash span synthesis — is rebuilt by WAL
+// replay with the original timestamps, and survives checkpoint
+// compaction (the snapshot carries it).
+func TestHistorySurvivesReplayAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	lifecycle(t, s, 1, "k1")
+	live := s.Jobs()[0]
+	if len(live.History) != 5 {
+		t.Fatalf("live history length = %d, want 5", len(live.History))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir)
+	j := r.Jobs()[0]
+	wantOps := []Op{OpSubmitted, OpStarted, OpAttemptFailed, OpStarted, OpCompleted}
+	if len(j.History) != len(wantOps) {
+		t.Fatalf("replayed history length = %d, want %d", len(j.History), len(wantOps))
+	}
+	for i, ev := range j.History {
+		if ev.Op != wantOps[i] {
+			t.Errorf("history[%d].Op = %s, want %s", i, ev.Op, wantOps[i])
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("history[%d] has no timestamp", i)
+		}
+		if i > 0 && ev.Time.Before(j.History[i-1].Time) {
+			t.Errorf("history timestamps not monotone at %d", i)
+		}
+	}
+	if j.History[2].Stage != "timeout" || j.History[2].Error != "deadline" {
+		t.Errorf("attempt-failed event = %+v", j.History[2])
+	}
+	if j.History[3].Attempt != 2 {
+		t.Errorf("second started attempt = %d, want 2", j.History[3].Attempt)
+	}
+
+	// Compact, reopen: history must come back from the checkpoint alone.
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := openT(t, dir)
+	defer c.Close()
+	if got := len(c.Jobs()[0].History); got != 5 {
+		t.Errorf("post-checkpoint history length = %d, want 5", got)
+	}
+}
+
+// TestAppendObserver: the observer sees one AppendStats per successful
+// append, with the op/job identity and a sane latency breakdown, and is
+// invoked outside the store lock (calling back into the store must not
+// deadlock).
+func TestAppendObserver(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	defer s.Close()
+
+	var stats []AppendStats
+	s.SetObserver(func(st AppendStats) {
+		stats = append(stats, st)
+		_ = s.MaxJobID() // reentrancy: must not deadlock
+	})
+	lifecycle(t, s, 1, "k1")
+	if len(stats) != 5 {
+		t.Fatalf("observer saw %d appends, want 5", len(stats))
+	}
+	if stats[0].Op != OpSubmitted || stats[0].Job != 1 {
+		t.Errorf("first stat = %+v", stats[0])
+	}
+	for i, st := range stats {
+		if st.Total <= 0 || st.Fsync < 0 || st.Fsync > st.Total {
+			t.Errorf("stat %d has implausible latencies: %+v", i, st)
+		}
+	}
+
+	// Failed appends are not observed; uninstalling stops delivery.
+	s.FailAppendsAfter(1)
+	if err := s.Append(Record{Op: OpSubmitted, Job: 9}); err == nil {
+		t.Fatal("chaos append unexpectedly succeeded")
+	}
+	if len(stats) != 5 {
+		t.Errorf("failed append reached the observer")
+	}
+	s.SetObserver(nil)
+	appendT(t, s, Record{Op: OpSubmitted, Job: 2, Key: "k2"})
+	if len(stats) != 5 {
+		t.Errorf("uninstalled observer still invoked")
+	}
+}

@@ -1,0 +1,235 @@
+// Package span is the job-lifecycle tracing layer of the serving stack:
+// wall-clock span trees correlated by a stable trace ID, threaded through
+// context from submission to completion.
+//
+// It is the service-level sibling of internal/obs: obs traces the
+// simulated machine (cycles, μops, heartbeats), span traces the machinery
+// around it — queue wait, WAL appends, retry backoff, trace-cache
+// lookups, the simulation attempt itself. Like obs, the layer is
+// zero-cost when off: a nil *Tracer produces nil *Spans, every method is
+// nil-safe, and code threading spans through context pays one untaken nil
+// check per site (see BenchmarkSpanOverhead in the repository root and
+// TestNilTracerZeroAlloc here).
+//
+// Concurrency: spans for one trace are started and ended from whatever
+// goroutine owns that part of the lifecycle (HTTP handlers, queue
+// workers, retry timers), while exporters read trees concurrently; every
+// span mutation and read therefore goes through the owning tracer's
+// mutex. Span recording is lifecycle-granular (a handful of spans per
+// job), never per-cycle, so the lock is far off any hot path.
+package span
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ID identifies a span within its trace (1-based; 0 means "no parent").
+type ID uint64
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation in a trace. Create roots with
+// Tracer.Start/StartAt, children with Span.Child/ChildAt, close with
+// End/EndAt. All methods are safe on a nil receiver (the off state) and
+// safe for concurrent use (mutations lock the owning tracer).
+type Span struct {
+	tracer *Tracer
+	trace  *trace
+
+	id     ID
+	parent ID
+	name   string
+	start  time.Time
+	end    time.Time // zero while open
+	attrs  []Attr
+	errMsg string
+}
+
+// trace is one correlation ID's accumulated span list.
+type trace struct {
+	id    string
+	spans []*Span
+	next  ID
+}
+
+// Tracer records span trees keyed by trace ID. A nil *Tracer is the off
+// state: Start returns a nil *Span and the whole span API no-ops. The
+// tracer retains at most a bounded number of traces (oldest evicted
+// first), so a long-lived server's memory stays bounded.
+type Tracer struct {
+	mu     sync.Mutex
+	traces map[string]*trace
+	order  []string // insertion order, for eviction
+	cap    int
+}
+
+// DefaultMaxTraces bounds retained traces when NewTracer is given 0.
+const DefaultMaxTraces = 1024
+
+// NewTracer builds a tracer retaining at most maxTraces traces (0 =
+// DefaultMaxTraces, negative = unbounded).
+func NewTracer(maxTraces int) *Tracer {
+	if maxTraces == 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	return &Tracer{traces: make(map[string]*trace), cap: maxTraces}
+}
+
+// DeriveID returns the deterministic trace ID for a stable identity
+// string (16 hex characters of its SHA-256). Deriving rather than
+// generating IDs is what keeps a job's trace ID stable across process
+// lifetimes: a restarted server recomputes the same ID from the same
+// durable identity, so spans recorded before and after a crash correlate
+// without persisting the ID itself.
+func DeriveID(identity string) string {
+	sum := sha256.Sum256([]byte(identity))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Start begins a new top-level span under traceID at time.Now. Safe on a
+// nil receiver (returns nil).
+func (t *Tracer) Start(traceID, name string) *Span {
+	return t.StartAt(traceID, name, time.Now())
+}
+
+// StartAt is Start with an explicit start time — the hook recovery uses
+// to synthesize spans at the wall-clock times the WAL recorded.
+func (t *Tracer) StartAt(traceID, name string, at time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.traces[traceID]
+	if tr == nil {
+		tr = &trace{id: traceID}
+		t.traces[traceID] = tr
+		t.order = append(t.order, traceID)
+		t.evictLocked()
+	}
+	return tr.addLocked(t, name, 0, at)
+}
+
+// evictLocked drops the oldest traces beyond the cap. Caller holds mu.
+func (t *Tracer) evictLocked() {
+	if t.cap <= 0 {
+		return
+	}
+	for len(t.traces) > t.cap {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		delete(t.traces, victim)
+	}
+}
+
+// addLocked appends a new span to the trace. Caller holds the tracer's mu.
+func (tr *trace) addLocked(t *Tracer, name string, parent ID, at time.Time) *Span {
+	tr.next++
+	sp := &Span{tracer: t, trace: tr, id: tr.next, parent: parent, name: name, start: at}
+	tr.spans = append(tr.spans, sp)
+	return sp
+}
+
+// lock takes the owning tracer's mutex; every span mutation and read of a
+// live span goes through it.
+func (sp *Span) lock() *Tracer {
+	sp.tracer.mu.Lock()
+	return sp.tracer
+}
+
+// Child begins a child span at time.Now. Safe on a nil receiver.
+func (sp *Span) Child(name string) *Span {
+	return sp.ChildAt(name, time.Now())
+}
+
+// ChildAt is Child with an explicit start time.
+func (sp *Span) ChildAt(name string, at time.Time) *Span {
+	if sp == nil {
+		return nil
+	}
+	t := sp.lock()
+	defer t.mu.Unlock()
+	return sp.trace.addLocked(t, name, sp.id, at)
+}
+
+// End closes the span at time.Now (idempotent: the first end wins). Safe
+// on a nil receiver.
+func (sp *Span) End() { sp.EndAt(time.Now()) }
+
+// EndAt is End with an explicit end time.
+func (sp *Span) EndAt(at time.Time) {
+	if sp == nil {
+		return
+	}
+	t := sp.lock()
+	defer t.mu.Unlock()
+	if sp.end.IsZero() {
+		sp.end = at
+	}
+}
+
+// SetAttr annotates the span (last write per key wins on render; keys are
+// appended, not deduplicated — annotation volume is tiny).
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	t := sp.lock()
+	defer t.mu.Unlock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt annotates the span with an integer value.
+func (sp *Span) SetInt(key string, v int64) {
+	sp.SetAttr(key, fmt.Sprintf("%d", v))
+}
+
+// Fail records the span's error (last call wins). It does not end the
+// span — pair with End as usual.
+func (sp *Span) Fail(err error) {
+	if sp == nil || err == nil {
+		return
+	}
+	t := sp.lock()
+	defer t.mu.Unlock()
+	sp.errMsg = err.Error()
+}
+
+// TraceID returns the span's correlation ID ("" on a nil span).
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.trace.id
+}
+
+// --- context threading ---
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp. A nil sp returns ctx unchanged, so
+// an untraced pipeline never pays the context allocation.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil. Instrumented code
+// calls this once per operation and then uses the (possibly nil) span
+// through the nil-safe API — the whole cost of tracing-off is this one
+// failed context lookup per lifecycle operation.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,283 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeBasics(t *testing.T) {
+	tr := NewTracer(0)
+	id := DeriveID("job-1")
+	root := tr.Start(id, "job")
+	root.SetAttr("workload", "stream")
+	wait := root.Child("queue.wait")
+	wait.End()
+	attempt := root.Child("attempt")
+	attempt.SetInt("n", 1)
+	run := attempt.Child("sim.run")
+	run.Fail(errors.New("boom"))
+	run.End()
+	attempt.End()
+	root.End()
+
+	tree := tr.Tree(id)
+	if tree == nil {
+		t.Fatal("Tree returned nil for a recorded trace")
+	}
+	if tree.TraceID != id {
+		t.Fatalf("trace id = %q, want %q", tree.TraceID, id)
+	}
+	if len(tree.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(tree.Spans))
+	}
+	roots := tree.Roots()
+	if len(roots) != 1 || roots[0].Name != "job" {
+		t.Fatalf("roots = %+v, want single 'job'", roots)
+	}
+	if got := roots[0].Attr("workload"); got != "stream" {
+		t.Errorf("root workload attr = %q", got)
+	}
+	kids := tree.Children(roots[0].ID)
+	if len(kids) != 2 || kids[0].Name != "queue.wait" || kids[1].Name != "attempt" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if got := kids[1].Attr("n"); got != "1" {
+		t.Errorf("attempt n attr = %q", got)
+	}
+	runView, ok := tree.Find("sim.run")
+	if !ok || runView.Error != "boom" {
+		t.Errorf("sim.run = %+v, want error 'boom'", runView)
+	}
+	for _, v := range tree.Spans {
+		if v.Open {
+			t.Errorf("span %s still open", v.Name)
+		}
+		if v.End.Before(v.Start) {
+			t.Errorf("span %s end %v before start %v", v.Name, v.End, v.Start)
+		}
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer(0)
+	sp := tr.Start("t", "op")
+	first := time.Now().Add(-time.Second)
+	sp.EndAt(first)
+	sp.End() // must not overwrite
+	v := tr.Tree("t").Spans[0]
+	if !v.End.Equal(first) {
+		t.Errorf("second End overwrote the first: %v != %v", v.End, first)
+	}
+}
+
+func TestSynthesizedTimes(t *testing.T) {
+	tr := NewTracer(0)
+	t0 := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	root := tr.StartAt("t", "job", t0)
+	a := root.ChildAt("attempt", t0.Add(time.Second))
+	a.EndAt(t0.Add(3 * time.Second))
+	root.EndAt(t0.Add(4 * time.Second))
+	v, _ := tr.Tree("t").Find("attempt")
+	if v.Duration() != 2*time.Second {
+		t.Errorf("synthesized attempt duration = %v, want 2s", v.Duration())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "y")
+	if sp != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	// Every method must be a no-op on nil.
+	sp.SetAttr("k", "v")
+	sp.SetInt("k", 1)
+	sp.Fail(errors.New("x"))
+	child := sp.Child("c")
+	if child != nil {
+		t.Fatal("nil span returned a non-nil child")
+	}
+	child.End()
+	sp.End()
+	if got := sp.TraceID(); got != "" {
+		t.Errorf("nil span TraceID = %q", got)
+	}
+	if tree := tr.Tree("x"); tree != nil {
+		t.Errorf("nil tracer Tree = %+v", tree)
+	}
+	ctx := ContextWith(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Error("nil span round-tripped through context as non-nil")
+	}
+}
+
+// TestNilTracerZeroAlloc is the off-state cost contract: threading a nil
+// span through context and hitting every API point allocates nothing.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("trace", "job")
+		c := ContextWith(ctx, sp)
+		got := FromContext(c)
+		run := got.Child("sim.run")
+		run.SetAttr("arch", "Ballerino")
+		run.Fail(nil)
+		run.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer span path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	tr := NewTracer(0)
+	sp := tr.Start("t", "job")
+	ctx := ContextWith(context.Background(), sp)
+	if got := FromContext(ctx); got != sp {
+		t.Fatal("span did not round-trip through context")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatal("empty context produced a span")
+	}
+}
+
+func TestEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Start("a", "x").End()
+	tr.Start("b", "x").End()
+	tr.Start("c", "x").End()
+	if tr.Tree("a") != nil {
+		t.Error("oldest trace not evicted at cap")
+	}
+	if tr.Tree("b") == nil || tr.Tree("c") == nil {
+		t.Error("recent traces evicted")
+	}
+}
+
+func TestConcurrentSpansRaceClean(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start("t", "job")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			sp := root.Child("worker")
+			sp.SetInt("n", int64(n))
+			sp.End()
+		}(i)
+	}
+	// Concurrent reader: exporting while writers are live must be safe.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = tr.Tree("t")
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if n := len(tr.Tree("t").Spans); n != 9 {
+		t.Errorf("got %d spans, want 9", n)
+	}
+}
+
+func TestWriteJSONAndText(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start(DeriveID("j"), "job")
+	w := root.Child("queue.wait")
+	w.End()
+	open := root.Child("attempt")
+	_ = open // deliberately left open
+	root.EndAt(time.Now())
+
+	tree := tr.Tree(DeriveID("j"))
+	var buf bytes.Buffer
+	if err := tree.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("tree JSON does not round-trip: %v", err)
+	}
+	if len(back.Spans) != 3 || back.TraceID != tree.TraceID {
+		t.Fatalf("round-tripped tree = %+v", back)
+	}
+
+	buf.Reset()
+	if err := tree.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"trace " + tree.TraceID, "job", "queue.wait", "attempt", "…open"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text timeline missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start("t", "job")
+	c := root.Child("attempt")
+	c.SetAttr("outcome", "ok")
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.Tree("t").WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(file.TraceEvents))
+	}
+	var prev uint64
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur == 0 {
+			t.Errorf("event %s has zero duration", ev.Name)
+		}
+		if ev.TS < prev {
+			t.Errorf("timestamps not monotonic: %d after %d", ev.TS, prev)
+		}
+		prev = ev.TS
+		if ev.Args["trace_id"] != "t" {
+			t.Errorf("event %s missing trace_id arg: %+v", ev.Name, ev.Args)
+		}
+	}
+}
+
+func TestDeriveIDStable(t *testing.T) {
+	a, b := DeriveID("ballserved.job.7"), DeriveID("ballserved.job.7")
+	if a != b {
+		t.Errorf("DeriveID not deterministic: %q != %q", a, b)
+	}
+	if len(a) != 16 {
+		t.Errorf("DeriveID length = %d, want 16", len(a))
+	}
+	if DeriveID("ballserved.job.8") == a {
+		t.Error("distinct identities collide")
+	}
+}

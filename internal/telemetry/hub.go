@@ -3,25 +3,39 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 )
 
 // hub fans pre-rendered SSE frames out to every connected /stream client.
 // Publishers never block: a subscriber that cannot keep up has frames
 // dropped (live telemetry is a lossy window, not a durable log — the
-// manifest is the durable record).
+// manifest is the durable record). Drops are counted (surfaced as
+// ballserved_stream_dropped_total) and the first drop per client emits a
+// structured warning carrying the client's ID.
 type hub struct {
+	log     *slog.Logger
+	dropped atomic.Uint64 // frames dropped across all subscribers
+
 	mu     sync.Mutex
-	subs   map[chan []byte]struct{}
+	subs   map[chan []byte]*subscriber
+	nextID int
 	closed bool
+}
+
+// subscriber is the hub-side state of one connected stream client.
+type subscriber struct {
+	id     int
+	warned bool // first-drop warning already logged
 }
 
 // subBuffer is each subscriber's frame buffer; at the default heartbeat
 // rate this is minutes of slack before drops start.
 const subBuffer = 256
 
-func newHub() *hub {
-	return &hub{subs: make(map[chan []byte]struct{})}
+func newHub(log *slog.Logger) *hub {
+	return &hub{log: log, subs: make(map[chan []byte]*subscriber), nextID: 1}
 }
 
 // subscribe registers a new client. It returns a nil channel when the hub
@@ -33,7 +47,8 @@ func (h *hub) subscribe() (ch chan []byte, cancel func()) {
 		return nil, func() {}
 	}
 	ch = make(chan []byte, subBuffer)
-	h.subs[ch] = struct{}{}
+	h.subs[ch] = &subscriber{id: h.nextID}
+	h.nextID++
 	var once sync.Once
 	return ch, func() {
 		once.Do(func() {
@@ -54,6 +69,11 @@ func (h *hub) count() int {
 	return len(h.subs)
 }
 
+// drops returns the total frames dropped on slow subscribers.
+func (h *hub) drops() uint64 {
+	return h.dropped.Load()
+}
+
 // publish renders one SSE frame (`event: <event>` + JSON data line) and
 // delivers it to every subscriber without blocking.
 func (h *hub) publish(event string, v any) {
@@ -64,10 +84,16 @@ func (h *hub) publish(event string, v any) {
 	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for ch := range h.subs {
+	for ch, sub := range h.subs {
 		select {
 		case ch <- frame:
 		default: // slow client: drop this frame for them
+			h.dropped.Add(1)
+			if !sub.warned {
+				sub.warned = true
+				h.log.Warn("stream subscriber falling behind, dropping frames",
+					"client", sub.id, "event", event, "buffer", subBuffer)
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	ballerino "repro"
 	"repro/internal/obs"
+	"repro/internal/span"
 )
 
 // JobSpec is the wire form of one simulation job — the subset of
@@ -103,6 +104,14 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// Lifecycle tracing (nil/zero when the server runs untraced). traceID
+	// is derived from ID before the job is published and never written
+	// again, so lock-free reads after publication are safe.
+	traceID  string
+	rootSpan *span.Span // the job's root lifecycle span
+	waitSpan *span.Span // open "queue.wait" span while the job sits queued
+	enqueued time.Time  // when the job last entered the queue
 }
 
 // JobView is the JSON rendering of a job's state.
@@ -120,6 +129,7 @@ type JobView struct {
 	StartedAt   string        `json:"started_at,omitempty"`
 	FinishedAt  string        `json:"finished_at,omitempty"`
 	Intervals   int           `json:"intervals,omitempty"`
+	TraceID     string        `json:"trace_id,omitempty"`
 	Manifest    *obs.Manifest `json:"manifest,omitempty"`
 }
 
@@ -148,6 +158,7 @@ func (j *Job) View(withManifest bool) JobView {
 		SubmittedAt: fmtTime(j.submitted),
 		StartedAt:   fmtTime(j.started),
 		FinishedAt:  fmtTime(j.finished),
+		TraceID:     j.traceID,
 	}
 	if j.state != JobRetrying {
 		v.NextRetryAt = ""
@@ -202,6 +213,8 @@ func (j *Job) Cancel() JobState {
 	case JobQueued, JobRetrying, JobParked:
 		j.state = JobCancelled
 		j.finished = time.Now()
+		j.waitSpan.End()
+		j.waitSpan = nil
 	case JobRunning:
 		j.requested = true
 		if j.cancel != nil {

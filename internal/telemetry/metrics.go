@@ -31,6 +31,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ballserved_jobs_resumed_total", "Jobs re-enqueued by crash-recovery replay.", s.resumed.Load()},
 		{"ballserved_store_result_hits_total", "Results served from the durable store without recomputation.", s.storeHits.Load()},
 		{"ballserved_store_errors_total", "Durable-store append/decode failures (degraded durability).", s.storeErrors.Load()},
+		{"ballserved_stream_dropped_total", "SSE frames dropped on slow /stream subscribers.", s.hub.drops()},
 	} {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}
@@ -112,6 +113,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	obs.WritePromGauges(&b, gauges)
+	// Lifecycle latency distributions, buckets annotated with exemplar
+	// trace IDs (OpenMetrics syntax; plain-Prometheus scrapers treat the
+	// ` # {...}` suffix as a comment).
+	obs.WritePromExemplarHists(&b, []*obs.ExemplarHist{
+		s.waitHist, s.serviceHist, s.e2eHist, s.fsyncHist, s.replayHist, s.depthHist,
+	}, nil)
 	if dump != nil {
 		obs.WritePrometheus(&b, "ballerino_", dump, labels)
 	}

@@ -99,6 +99,9 @@ func scrape(t *testing.T, ts *httptest.Server) map[string]float64 {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		if i := strings.Index(line, " # {"); i >= 0 {
+			line = line[:i] // strip OpenMetrics exemplar suffix
+		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp < 0 {
 			t.Fatalf("malformed exposition line %q", line)

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleSpans serves GET /jobs/{id}/spans — the per-job lifecycle
+// timeline. ?format= selects the rendering:
+//
+//   - json (default): the span.Tree wire form (flat spans + parent IDs);
+//   - text: an indented human-readable timeline;
+//   - chrome: a Chrome trace_event file for chrome://tracing / Perfetto.
+//
+// 404s when tracing is off, or when the job's trace was evicted from the
+// tracer's bounded retention.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFromPath(w, r)
+	if job == nil {
+		return
+	}
+	if s.tracer == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "lifecycle tracing is off (server started without a tracer)"})
+		return
+	}
+	tree := s.tracer.Tree(job.traceID)
+	if tree == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("no trace recorded for job %d (evicted or never traced)", job.ID)})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		tree.WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tree.WriteText(w)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf(`attachment; filename="job-%d-trace.json"`, job.ID))
+		tree.WriteChrome(w)
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "unknown format (want json, text or chrome)"})
+	}
+}

@@ -44,9 +44,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	rtpprof "runtime/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -55,6 +58,7 @@ import (
 	ballerino "repro"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
+	"repro/internal/span"
 )
 
 // Options configures a Server.
@@ -102,6 +106,18 @@ type Options struct {
 	// stream — the internal/faults idiom lifted to the job fabric, used by
 	// the crash/degradation harnesses.
 	ChaosSpec string
+
+	// Tracer, when non-nil, records a lifecycle span tree per job (see
+	// internal/span): submit → queue.wait → wal.append → attempt[n]
+	// (cache.lookup, trace.generate, sim.warmup, sim.run) → result.store,
+	// exported via GET /jobs/{id}/spans and as exemplar trace IDs on the
+	// latency histograms. Trace IDs are derived deterministically from the
+	// job ID, so a restarted server extends the same trace. nil = tracing
+	// off, and every instrumentation site costs one untaken nil check.
+	Tracer *span.Tracer
+	// Logger, when non-nil, receives structured logs for every lifecycle
+	// transition, each carrying the job's trace_id. nil = discard.
+	Logger *slog.Logger
 }
 
 // SaturatedError is returned by Submit when admission control sheds the
@@ -162,6 +178,18 @@ type Server struct {
 
 	traces *ballerino.TraceCache // shared across all served jobs
 
+	tracer *span.Tracer // nil = lifecycle tracing off
+	log    *slog.Logger // never nil (discard handler when unset)
+
+	// Lifecycle latency distributions, each bucket carrying the trace ID
+	// of the last job that landed in it (OpenMetrics exemplars).
+	waitHist    *obs.ExemplarHist // queue wait: submit → worker pickup
+	serviceHist *obs.ExemplarHist // attempt wall time
+	e2eHist     *obs.ExemplarHist // submit → terminal state
+	fsyncHist   *obs.ExemplarHist // WAL fsync, from the jobstore observer
+	replayHist  *obs.ExemplarHist // crash-recovery replay wall time
+	depthHist   *obs.ExemplarHist // queue depth observed at submit
+
 	mu     sync.Mutex
 	jobs   map[int]*Job
 	order  []*Job
@@ -183,10 +211,18 @@ func NewServer(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	// Latency bounds in seconds: sub-millisecond fsyncs up to multi-minute
+	// simulations, roughly ×4 per bucket.
+	latency := []float64{0.001, 0.005, 0.025, 0.1, 0.25, 1, 4, 15, 60, 240}
+	fsyncB := []float64{0.0001, 0.00025, 0.001, 0.0025, 0.01, 0.05, 0.25, 1}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opts:      opts,
-		hub:       newHub(),
+		hub:       newHub(logger),
 		retry:     retry,
 		store:     opts.Store,
 		baseCtx:   ctx,
@@ -196,7 +232,37 @@ func NewServer(opts Options) (*Server, error) {
 		run:       make(map[int]*Job),
 		nextID:    1,
 		traces:    ballerino.NewTraceCache(opts.TraceCacheBytes),
-	}, nil
+		tracer:    opts.Tracer,
+		log:       logger,
+		waitHist: obs.NewExemplarHist("ballserved_queue_wait_seconds",
+			"Time from submission to a worker picking the job up.", latency),
+		serviceHist: obs.NewExemplarHist("ballserved_job_attempt_seconds",
+			"Wall time of one execution attempt.", latency),
+		e2eHist: obs.NewExemplarHist("ballserved_job_e2e_seconds",
+			"Time from submission to the job's terminal state.", latency),
+		fsyncHist: obs.NewExemplarHist("ballserved_wal_fsync_seconds",
+			"WAL fsync latency per appended lifecycle record.", fsyncB),
+		replayHist: obs.NewExemplarHist("ballserved_replay_duration_seconds",
+			"Crash-recovery WAL replay wall time.", latency),
+		depthHist: obs.NewExemplarHist("ballserved_queue_depth_at_submit",
+			"Pending jobs observed by each accepted submission.",
+			[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128}),
+	}
+	if s.store != nil {
+		// The store times every append's fsync; feed the latency histogram
+		// with the owning job's (deterministic) trace ID as the exemplar.
+		s.store.SetObserver(func(st jobstore.AppendStats) {
+			s.fsyncHist.Observe(st.Fsync.Seconds(), jobTraceID(st.Job))
+		})
+	}
+	return s, nil
+}
+
+// jobTraceID derives job id's stable trace ID. Deriving from the durable
+// job ID (never reused: restart continues the WAL's ID sequence) is what
+// lets spans recorded before and after a crash share one trace.
+func jobTraceID(id int) string {
+	return span.DeriveID(fmt.Sprintf("ballserved.job.%d", id))
 }
 
 // Start replays the durable store (if any), re-enqueues unfinished jobs,
@@ -227,11 +293,19 @@ func (s *Server) recoverStore() {
 	defer s.recovering.Store(false)
 	start := time.Now()
 
+	recovered := 0
 	for _, jr := range s.store.Jobs() {
+		recovered++
 		job := &Job{ID: jr.ID, key: jr.Key, attempts: jr.Attempts, stage: jr.Stage, errMsg: jr.Error}
+		job.traceID = jobTraceID(jr.ID)
 		var spec JobSpec
 		specErr := json.Unmarshal(jr.Spec, &spec)
 		job.Spec = spec
+
+		// Rebuild the pre-crash half of the job's trace from the WAL's
+		// event history: same deterministic trace ID, spans stamped with
+		// the wall-clock times the log recorded.
+		root := s.synthesizeTrace(job, jr.History)
 
 		switch {
 		case jr.Terminal == jobstore.OpCompleted:
@@ -244,6 +318,8 @@ func (s *Server) recoverStore() {
 			job.state = JobParked
 			job.stage = "spec"
 			job.errMsg = fmt.Sprintf("recovered spec unreadable: %v", specErr)
+			root.SetAttr("outcome", string(JobParked))
+			root.End()
 		case jr.Failures > s.opts.MaxRetries && jr.Failures > 0:
 			// The job had already exhausted (or would now exhaust) its
 			// retry budget when the process died.
@@ -252,6 +328,8 @@ func (s *Server) recoverStore() {
 			} else {
 				job.state = JobFailed
 			}
+			root.SetAttr("outcome", string(job.state))
+			root.End()
 		default:
 			if m := s.storedResult(jr.Key); m != nil {
 				// Idempotent resume: the grid point was computed before the
@@ -261,12 +339,20 @@ func (s *Server) recoverStore() {
 				job.manifest = m
 				job.errMsg, job.stage = "", ""
 				s.storeHits.Add(1)
-				s.appendWAL(jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: jr.Key, Result: jr.Result})
+				s.appendWAL(root, jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: jr.Key, Result: jr.Result})
+				root.SetAttr("outcome", "store-hit")
+				root.End()
 			} else {
 				job.state = JobQueued
 				job.resumed = true
 				job.errMsg, job.stage = "", ""
 				s.resumed.Add(1)
+				rep := root.Child("replay")
+				rep.SetInt("prior_attempts", int64(jr.Attempts))
+				rep.End()
+				job.rootSpan = root
+				job.enqueued = time.Now()
+				job.waitSpan = root.Child("queue.wait")
 			}
 		}
 
@@ -284,6 +370,66 @@ func (s *Server) recoverStore() {
 
 	total := s.store.Recovery().Duration + time.Since(start)
 	s.replaySeconds.Store(math.Float64bits(total.Seconds()))
+	s.replayHist.Observe(total.Seconds(), "")
+	if recovered > 0 {
+		s.log.Info("recovery replay finished", "jobs", recovered,
+			"resumed", s.resumed.Load(), "duration", total)
+	}
+}
+
+// synthesizeTrace reconstructs the pre-crash span tree of a recovered job
+// from its WAL history: a root "job" span starting at the first recorded
+// event, a closed "submit", and one "attempt" child per started attempt.
+// An attempt the log never saw finish was interrupted by the crash; it is
+// closed at recovery time and marked interrupted. The returned root stays
+// open unless the history itself reached a terminal record — resumable
+// jobs keep accumulating live spans on the same trace.
+func (s *Server) synthesizeTrace(job *Job, history []jobstore.HistoryEvent) *span.Span {
+	if s.tracer == nil || len(history) == 0 {
+		return nil
+	}
+	root := s.tracer.StartAt(job.traceID, "job", history[0].Time)
+	root.SetAttr("arch", job.Spec.Arch)
+	root.SetAttr("workload", job.Spec.Workload)
+	root.SetInt("job", int64(job.ID))
+	root.SetAttr("source", "wal")
+	var attempt *span.Span
+	for _, ev := range history {
+		switch ev.Op {
+		case jobstore.OpSubmitted:
+			sub := root.ChildAt("submit", ev.Time)
+			sub.SetAttr("source", "wal")
+			sub.EndAt(ev.Time)
+		case jobstore.OpStarted:
+			attempt = root.ChildAt("attempt", ev.Time)
+			attempt.SetInt("n", int64(ev.Attempt))
+			attempt.SetAttr("source", "wal")
+		case jobstore.OpAttemptFailed:
+			if attempt != nil {
+				if ev.Stage != "" {
+					attempt.SetAttr("stage", ev.Stage)
+				}
+				attempt.Fail(errors.New(ev.Error))
+				attempt.EndAt(ev.Time)
+				attempt = nil
+			}
+		case jobstore.OpCompleted:
+			attempt.EndAt(ev.Time)
+			attempt = nil
+			root.SetAttr("outcome", "done")
+			root.EndAt(ev.Time)
+		case jobstore.OpCanceled:
+			attempt.EndAt(ev.Time)
+			attempt = nil
+			root.SetAttr("outcome", "cancelled")
+			root.EndAt(ev.Time)
+		}
+	}
+	if attempt != nil {
+		attempt.SetAttr("interrupted", "true")
+		attempt.End()
+	}
+	return root
 }
 
 // storedResult decodes the stored canonical manifest for a content key,
@@ -315,15 +461,24 @@ func decodeManifest(raw json.RawMessage) *obs.Manifest {
 	return &m
 }
 
-// appendWAL persists one lifecycle record. Append failures degrade
-// gracefully: the server keeps executing (counting storeErrors so
-// operators see the durability loss) rather than collapsing mid-job.
-func (s *Server) appendWAL(rec jobstore.Record) {
+// appendWAL persists one lifecycle record, recording the durable write
+// as a "wal.append" child of sp (fsync latency rides the store observer
+// into the fsync histogram). Append failures degrade gracefully: the
+// server keeps executing (counting storeErrors so operators see the
+// durability loss) rather than collapsing mid-job.
+func (s *Server) appendWAL(sp *span.Span, rec jobstore.Record) {
 	if s.store == nil {
 		return
 	}
-	if err := s.store.Append(rec); err != nil {
+	wsp := sp.Child("wal.append")
+	wsp.SetAttr("op", string(rec.Op))
+	err := s.store.Append(rec)
+	wsp.Fail(err)
+	wsp.End()
+	if err != nil {
 		s.storeErrors.Add(1)
+		s.log.Error("wal append failed", "op", rec.Op, "job", rec.Job,
+			"trace_id", jobTraceID(rec.Job), "err", err)
 	}
 }
 
@@ -336,6 +491,8 @@ func (s *Server) appendWAL(rec jobstore.Record) {
 // them (graceful drain doubles as a checkpoint for resume). It returns
 // ctx.Err() if the workers do not drain in time.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.log.Info("shutdown: draining workers",
+		"running", s.runCount(), "queued", s.q.len())
 	s.ready.Store(false)
 	s.cancelAll()
 	s.q.close()
@@ -386,22 +543,45 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if pending := s.q.len(); s.opts.QueueDepth > 0 && pending >= s.opts.QueueDepth {
+	pending := s.q.len()
+	if s.opts.QueueDepth > 0 && pending >= s.opts.QueueDepth {
 		s.shed.Add(1)
-		return nil, &SaturatedError{Pending: pending, RetryAfter: s.retryAfter(pending)}
+		sat := &SaturatedError{Pending: pending, RetryAfter: s.retryAfter(pending)}
+		s.log.Warn("submission shed by admission control",
+			"pending", pending, "retry_after", sat.RetryAfter)
+		return nil, sat
 	}
 
 	s.mu.Lock()
 	job := &Job{ID: s.nextID, Spec: spec, key: key, state: JobQueued, submitted: time.Now()}
+	job.traceID = jobTraceID(job.ID)
 	s.nextID++
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job)
 	s.mu.Unlock()
 
+	// The trace root spans the whole lifecycle; "submit" covers admission
+	// + the durable submitted record; "queue.wait" stays open until a
+	// worker picks the job up (or the job is cancelled while queued).
+	root := s.tracer.Start(job.traceID, "job")
+	root.SetAttr("arch", spec.Arch)
+	root.SetAttr("workload", spec.Workload)
+	root.SetInt("job", int64(job.ID))
+	sub := root.Child("submit")
+	sub.SetInt("queue_depth", int64(pending))
+	job.mu.Lock()
+	job.rootSpan = root
+	job.mu.Unlock()
+	s.depthHist.Observe(float64(pending), job.traceID)
+
 	if s.store != nil {
 		specRaw, merr := json.Marshal(spec)
 		if merr == nil {
+			wsp := sub.Child("wal.append")
+			wsp.SetAttr("op", string(jobstore.OpSubmitted))
 			merr = s.store.Append(jobstore.Record{Op: jobstore.OpSubmitted, Job: job.ID, Key: key, Spec: specRaw})
+			wsp.Fail(merr)
+			wsp.End()
 		}
 		if merr != nil {
 			// A job the WAL never saw must not be accepted: drop it and
@@ -411,12 +591,17 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 			s.order = s.order[:len(s.order)-1]
 			s.mu.Unlock()
 			s.storeErrors.Add(1)
+			sub.Fail(merr)
+			sub.End()
+			root.End()
+			s.log.Error("submission refused: durable store degraded",
+				"job", job.ID, "trace_id", job.traceID, "err", merr)
 			return nil, fmt.Errorf("%w: %v", ErrStoreDegraded, merr)
 		}
 		if m := s.storedResult(key); m != nil {
 			// Content-addressed dedup: this grid point is already computed.
 			raw, _ := s.store.Result(key)
-			s.appendWAL(jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: key, Result: raw})
+			s.appendWAL(sub, jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: key, Result: raw})
 			job.mu.Lock()
 			job.state = JobDone
 			job.fromStore = true
@@ -426,13 +611,25 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 			s.storeHits.Add(1)
 			s.submitted.Add(1)
 			s.completed.Add(1)
+			sub.SetAttr("outcome", "store-hit")
+			sub.End()
+			root.End()
+			s.log.Info("job served from store", "job", job.ID, "trace_id", job.traceID,
+				"arch", spec.Arch, "workload", spec.Workload)
 			s.hub.publish("job", job.View(false))
 			return job, nil
 		}
 	}
 
+	sub.End()
+	job.mu.Lock()
+	job.enqueued = time.Now()
+	job.waitSpan = root.Child("queue.wait")
+	job.mu.Unlock()
 	s.q.push(job)
 	s.submitted.Add(1)
+	s.log.Info("job submitted", "job", job.ID, "trace_id", job.traceID,
+		"arch", spec.Arch, "workload", spec.Workload, "queue_depth", pending)
 	s.hub.publish("job", job.View(false))
 	return job, nil
 }
@@ -474,6 +671,13 @@ func (s *Server) Job(id int) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.jobs[id]
+}
+
+// runCount reports how many jobs are currently executing.
+func (s *Server) runCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.run)
 }
 
 // saturated reports whether admission control is currently shedding.
@@ -529,14 +733,29 @@ func (s *Server) runJob(job *Job) {
 		job.live = newLiveJob(job)
 	}
 	live := job.live
+	root := job.rootSpan
+	wait := job.waitSpan
+	job.waitSpan = nil
+	enqueued := job.enqueued
 	job.mu.Unlock()
+
+	if wait != nil {
+		wait.End()
+	}
+	if !enqueued.IsZero() {
+		s.waitHist.Observe(time.Since(enqueued).Seconds(), job.traceID)
+	}
+	asp := root.Child("attempt")
+	asp.SetInt("n", int64(attempt))
 
 	s.mu.Lock()
 	s.run[job.ID] = job
 	s.live = live
 	s.mu.Unlock()
 
-	s.appendWAL(jobstore.Record{Op: jobstore.OpStarted, Job: job.ID, Attempt: attempt})
+	s.appendWAL(asp, jobstore.Record{Op: jobstore.OpStarted, Job: job.ID, Attempt: attempt})
+	s.log.Info("attempt started", "job", job.ID, "trace_id", job.traceID, "attempt", attempt,
+		"arch", job.Spec.Arch, "workload", job.Spec.Workload)
 	s.hub.publish("job", job.View(false))
 
 	begin := time.Now()
@@ -545,37 +764,54 @@ func (s *Server) runJob(job *Job) {
 	var flushMsg string
 	if s.retry.chaosFail() {
 		err = errChaosInjected
+		asp.SetAttr("chaos", "injected")
 	} else {
-		rec := obs.NewRecorder(s.opts.HeartbeatCycles, &live.events)
-		rec.OnInterval(func(iv obs.Interval) {
-			// Simulation goroutine: reading the registry here is safe by the
-			// recorder's single-threaded contract, and Dump is a deep copy.
-			live.observe(iv, rec.Registry().Dump())
-			s.hub.publish("interval", streamInterval{
-				Job: job.ID, Arch: job.Spec.Arch, Workload: job.Spec.Workload,
-				IPC: iv.IPC(), Interval: iv,
+		// Label the worker goroutine for the duration of the attempt, so
+		// CPU profiles segment by job identity.
+		rtpprof.Do(runCtx, rtpprof.Labels(
+			"job", strconv.Itoa(job.ID),
+			"workload", job.Spec.Workload,
+			"arch", job.Spec.Arch,
+		), func(runCtx context.Context) {
+			rec := obs.NewRecorder(s.opts.HeartbeatCycles, &live.events)
+			rec.OnInterval(func(iv obs.Interval) {
+				// Simulation goroutine: reading the registry here is safe by the
+				// recorder's single-threaded contract, and Dump is a deep copy.
+				live.observe(iv, rec.Registry().Dump())
+				s.hub.publish("interval", streamInterval{
+					Job: job.ID, Arch: job.Spec.Arch, Workload: job.Spec.Workload,
+					IPC: iv.IPC(), Interval: iv,
+				})
 			})
+			cfg := job.Spec.Config()
+			cfg.Recorder = rec
+			// Thread the attempt span through the run context: the trace
+			// cache's lookup, trace generation, warm-up and the simulation
+			// itself all record themselves as its children.
+			runCtx = span.ContextWith(runCtx, asp)
+			// Share the μop trace across jobs over the same kernel. A Prepare
+			// failure (bad config, cancellation) is deliberately dropped here:
+			// RunContext reproduces the identical error below, on the path that
+			// already classifies it.
+			if t, terr := s.traces.Prepare(runCtx, cfg); terr == nil {
+				cfg.Trace = t
+			}
+			res, err = ballerino.RunContext(runCtx, cfg)
+			if cerr := rec.Close(); cerr != nil {
+				flushMsg = fmt.Sprintf("sink flush: %v", cerr)
+			}
 		})
-		cfg := job.Spec.Config()
-		cfg.Recorder = rec
-		// Share the μop trace across jobs over the same kernel. A Prepare
-		// failure (bad config, cancellation) is deliberately dropped here:
-		// RunContext reproduces the identical error below, on the path that
-		// already classifies it.
-		if t, terr := s.traces.Prepare(runCtx, cfg); terr == nil {
-			cfg.Trace = t
-		}
-		res, err = ballerino.RunContext(runCtx, cfg)
-		if cerr := rec.Close(); cerr != nil {
-			flushMsg = fmt.Sprintf("sink flush: %v", cerr)
-		}
 	}
-	s.observeDuration(time.Since(begin))
+	attemptDur := time.Since(begin)
+	s.observeDuration(attemptDur)
+	s.serviceHist.Observe(attemptDur.Seconds(), job.traceID)
 
 	s.mu.Lock()
 	delete(s.run, job.ID)
 	s.mu.Unlock()
 
+	asp.Fail(err)
+	asp.End()
 	s.settle(job, attempt, res, err, flushMsg)
 	s.hub.publish("job", job.View(false))
 }
@@ -590,6 +826,23 @@ func (s *Server) settle(job *Job, attempt int, res *ballerino.Result, err error,
 	if errors.As(err, &se) {
 		stage = se.Stage
 	}
+	job.mu.Lock()
+	root := job.rootSpan
+	job.mu.Unlock()
+
+	// endTrace closes the root span with the terminal outcome and feeds
+	// the end-to-end latency histogram.
+	endTrace := func(outcome string) {
+		root.SetAttr("outcome", outcome)
+		root.End()
+		job.mu.Lock()
+		e2e := job.finished.Sub(job.submitted)
+		submittedKnown := !job.submitted.IsZero()
+		job.mu.Unlock()
+		if submittedKnown {
+			s.e2eHist.Observe(e2e.Seconds(), job.traceID)
+		}
+	}
 
 	switch {
 	case err == nil:
@@ -597,7 +850,9 @@ func (s *Server) settle(job *Job, attempt int, res *ballerino.Result, err error,
 		if res.Manifest != nil {
 			canonical, _ = res.Manifest.CanonicalJSON()
 		}
-		s.appendWAL(jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: job.key, Result: canonical})
+		store := root.Child("result.store")
+		s.appendWAL(store, jobstore.Record{Op: jobstore.OpCompleted, Job: job.ID, Key: job.key, Result: canonical})
+		store.End()
 		job.mu.Lock()
 		job.state = JobDone
 		job.manifest = res.Manifest
@@ -607,6 +862,13 @@ func (s *Server) settle(job *Job, attempt int, res *ballerino.Result, err error,
 		job.live.finish(res.Manifest)
 		job.mu.Unlock()
 		s.completed.Add(1)
+		endTrace("done")
+		ipc := 0.0
+		if res.Manifest != nil {
+			ipc = res.Manifest.Stats.IPC
+		}
+		s.log.Info("job done", "job", job.ID, "trace_id", job.traceID,
+			"attempt", attempt, "ipc", ipc)
 
 	case stage == "canceled" || errors.Is(err, context.Canceled):
 		job.mu.Lock()
@@ -618,19 +880,24 @@ func (s *Server) settle(job *Job, attempt int, res *ballerino.Result, err error,
 		job.mu.Unlock()
 		s.cancelled.Add(1)
 		if requested {
-			s.appendWAL(jobstore.Record{Op: jobstore.OpCanceled, Job: job.ID, Error: err.Error()})
+			s.appendWAL(root, jobstore.Record{Op: jobstore.OpCanceled, Job: job.ID, Error: err.Error()})
+			endTrace("cancelled")
+			s.log.Info("job cancelled", "job", job.ID, "trace_id", job.traceID, "attempt", attempt)
 		}
-		// Not requested: the server is shutting down — leave the WAL
-		// showing an unfinished job so the next boot resumes it.
+		// Not requested: the server is shutting down — leave the WAL (and
+		// the trace root) open so the next boot resumes both.
 
 	default:
 		if stage == "" {
 			stage = "service"
 		}
-		s.appendWAL(jobstore.Record{Op: jobstore.OpAttemptFailed, Job: job.ID, Attempt: attempt,
+		s.appendWAL(root, jobstore.Record{Op: jobstore.OpAttemptFailed, Job: job.ID, Attempt: attempt,
 			Stage: stage, Error: err.Error()})
 		if attempt <= s.opts.MaxRetries {
 			delay := s.retry.backoff(attempt)
+			bsp := root.Child("backoff")
+			bsp.SetInt("after_attempt", int64(attempt))
+			bsp.SetAttr("delay", delay.String())
 			job.mu.Lock()
 			job.state = JobRetrying
 			job.errMsg, job.stage = err.Error(), stage
@@ -638,7 +905,9 @@ func (s *Server) settle(job *Job, attempt int, res *ballerino.Result, err error,
 			job.cancel = nil
 			job.mu.Unlock()
 			s.retries.Add(1)
-			s.scheduleRetry(job, delay)
+			s.log.Warn("attempt failed, retrying", "job", job.ID, "trace_id", job.traceID,
+				"attempt", attempt, "stage", stage, "delay", delay, "err", err)
+			s.scheduleRetry(job, delay, bsp)
 			return
 		}
 		job.mu.Lock()
@@ -647,19 +916,25 @@ func (s *Server) settle(job *Job, attempt int, res *ballerino.Result, err error,
 		} else {
 			job.state = JobFailed
 		}
+		terminal := job.state
 		job.errMsg, job.stage = err.Error(), stage
 		job.finished = time.Now()
 		job.cancel = nil
 		job.mu.Unlock()
 		s.failed.Add(1)
+		root.Fail(err)
+		endTrace(string(terminal))
+		s.log.Warn("job failed", "job", job.ID, "trace_id", job.traceID,
+			"attempt", attempt, "stage", stage, "state", terminal, "err", err)
 	}
 }
 
 // scheduleRetry re-enqueues the job after its backoff delay. The timer
 // aborts on shutdown, leaving the job in the retrying state — with a
 // durable store the WAL still shows it unfinished, so the next boot
-// picks it back up.
-func (s *Server) scheduleRetry(job *Job, delay time.Duration) {
+// picks it back up. bsp is the open "backoff" span; it ends when the
+// job re-enters the queue (or when the timer is abandoned).
+func (s *Server) scheduleRetry(job *Job, delay time.Duration, bsp *span.Span) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -667,9 +942,11 @@ func (s *Server) scheduleRetry(job *Job, delay time.Duration) {
 		defer t.Stop()
 		select {
 		case <-s.baseCtx.Done():
+			bsp.End()
 			return
 		case <-t.C:
 		}
+		bsp.End()
 		job.mu.Lock()
 		if job.state != JobRetrying { // cancelled mid-backoff
 			job.mu.Unlock()
@@ -677,8 +954,11 @@ func (s *Server) scheduleRetry(job *Job, delay time.Duration) {
 		}
 		job.state = JobQueued
 		job.nextRetry = time.Time{}
+		job.enqueued = time.Now()
+		job.waitSpan = job.rootSpan.Child("queue.wait")
 		job.mu.Unlock()
 		s.q.push(job)
+		s.log.Info("retry requeued", "job", job.ID, "trace_id", job.traceID)
 		s.hub.publish("job", job.View(false))
 	}()
 }
@@ -698,6 +978,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/spans", s.handleSpans)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /jobs/{id}/retry", s.handleRetry)
 	mux.HandleFunc("GET /deadletter", s.handleDeadLetter)
@@ -817,7 +1098,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	switch prev := job.Cancel(); prev {
 	case JobQueued, JobRetrying, JobParked:
 		s.cancelled.Add(1)
-		s.appendWAL(jobstore.Record{Op: jobstore.OpCanceled, Job: job.ID, Error: "cancelled before execution"})
+		job.mu.Lock()
+		root := job.rootSpan
+		job.mu.Unlock()
+		s.appendWAL(root, jobstore.Record{Op: jobstore.OpCanceled, Job: job.ID, Error: "cancelled before execution"})
+		root.SetAttr("outcome", "cancelled")
+		root.End()
+		s.log.Info("job cancelled before execution", "job", job.ID,
+			"trace_id", job.traceID, "was", prev)
 		s.hub.publish("job", job.View(false))
 	}
 	writeJSON(w, http.StatusOK, job.View(false))
@@ -844,7 +1132,13 @@ func (s *Server) handleRetry(w http.ResponseWriter, r *http.Request) {
 	job.attempts = 0
 	job.errMsg, job.stage = "", ""
 	job.finished = time.Time{}
+	job.enqueued = time.Now()
+	// A revived trace root may already be closed (the park ended it);
+	// children recorded after a parent's end are legal in this model —
+	// the timeline simply extends past the original terminal state.
+	job.waitSpan = job.rootSpan.Child("queue.wait")
 	job.mu.Unlock()
+	s.log.Info("dead-letter job revived", "job", job.ID, "trace_id", job.traceID)
 	s.q.push(job)
 	s.hub.publish("job", job.View(false))
 	writeJSON(w, http.StatusOK, job.View(false))

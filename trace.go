@@ -9,6 +9,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/isa"
 	"repro/internal/prog"
+	"repro/internal/span"
 	"repro/internal/workload"
 )
 
@@ -150,7 +151,11 @@ func prepareResolved(ctx context.Context, rc resolved) (*Trace, error) {
 	if err != nil {
 		return nil, simErr("config", err)
 	}
+	gsp := span.FromContext(ctx).Child("trace.generate")
+	gsp.SetAttr("workload", rc.Workload)
 	tr, err := generateTrace(ctx, program, rc.Config)
+	gsp.Fail(err)
+	gsp.End()
 	if err != nil {
 		return nil, simErr("trace", err)
 	}

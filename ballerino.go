@@ -36,6 +36,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/span"
 	"repro/internal/stats"
+	"repro/internal/topdown"
 	"repro/internal/workload"
 	"repro/uprog"
 )
@@ -80,6 +81,13 @@ type Config struct {
 	// "seed=1,jitter=8,flush=2000,squeeze=50,mdp=100" (see internal/faults).
 	// Faults are architecturally invisible; combine with Audit to prove it.
 	FaultSpec string
+	// Topdown attaches the top-down cycle-accounting engine
+	// (internal/topdown): every issue slot of every measured cycle is
+	// attributed to one CPI-stack category, reported in Result.Topdown
+	// and the manifest's "topdown" section. Off by default — a disabled
+	// engine costs nothing on the issue path and leaves the manifest
+	// byte-identical to pre-feature runs.
+	Topdown bool
 
 	// Observability (internal/obs). Any non-empty path attaches the
 	// recorder to the measured region (after warm-up): every pipeline
@@ -298,6 +306,10 @@ type Result struct {
 	// InjectedFaults counts faults actually injected, by kind (nil unless
 	// Config.FaultSpec was set).
 	InjectedFaults map[string]uint64
+
+	// Topdown is the CPI-stack cycle accounting of the measured region
+	// (nil unless Config.Topdown was set).
+	Topdown *topdown.Report
 
 	// Manifest is the machine-readable run record (always populated):
 	// configuration, environment, wall time, final statistics, energy and
@@ -530,7 +542,13 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		measured = uint64(len(trace.Ops) - cfg.WarmupOps)
 	}
 	// Attach after warm-up: interval deltas then cover exactly the measured
-	// region and sum to the final statistics.
+	// region and sum to the final statistics. Topdown first, so the first
+	// heartbeat snapshot already carries the accounting flag.
+	var td *topdown.Engine
+	if cfg.Topdown {
+		td = topdown.New(m.Pipeline.IssueWidth)
+		p.AttachTopdown(td)
+	}
 	p.AttachObs(rec)
 	rsp := sp.Child("sim.run")
 	rsp.SetAttr("arch", cfg.Arch)
@@ -592,6 +610,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	if auditor != nil {
 		res.AuditChecks = auditor.Checks()
 	}
+	res.Topdown = td.Report(s.Committed)
 	if replay != nil {
 		res.GoldenOps = replay.Ops()
 	}
@@ -732,6 +751,7 @@ func buildManifest(cfg Config, res *Result, rec *obs.Recorder, sinks []obs.SinkI
 	m.Metrics = rec.Registry().Dump()
 	m.Sinks = sinks
 	m.Intervals = rec.Intervals()
+	m.Topdown = res.Topdown
 	return m
 }
 

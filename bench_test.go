@@ -210,6 +210,36 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkTopdownOverhead measures the cost of CPI-stack cycle accounting
+// on a full simulation: "off" is the baseline (nil engine — the issue path
+// keeps its original closures, so this must be within noise of the
+// pre-feature engine; the CI topdown gate enforces ≤3%), "on" attaches the
+// engine (per-cycle scalar bookkeeping plus blame classification on
+// blocked μops).
+func BenchmarkTopdownOverhead(b *testing.B) {
+	const ops = 50_000
+	base := ballerino.Config{Arch: "Ballerino", Workload: "mixed", MaxOps: ops}
+
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ballerino.Run(base); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+	})
+	b.Run("on", func(b *testing.B) {
+		cfg := base
+		cfg.Topdown = true
+		for i := 0; i < b.N; i++ {
+			if _, err := ballerino.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "μops/s")
+	})
+}
+
 // BenchmarkSpanOverhead measures the cost of lifecycle tracing on a full
 // simulation driven through RunContext: "off" runs with no span in the
 // context (the nil-tracer state — every instrumentation site is one

@@ -27,6 +27,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	topdownpkg "repro/internal/topdown"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func run() int {
 		noMDP   = flag.Bool("no-mdp", false, "disable memory dependence prediction")
 		dvfs    = flag.String("dvfs", "L4", "operating point L1..L4")
 		audit   = flag.Bool("audit", false, "verify simulation invariants every cycle and cross-check commits against the golden model")
+		topdown = flag.Bool("topdown", false, "attribute every issue slot to a CPI-stack category and print the top-down breakdown")
 		inject  = flag.String("inject", "", "inject deterministic timing faults, e.g. seed=1,jitter=8,flush=2000,squeeze=50,mdp=100")
 		list    = flag.Bool("list", false, "list architectures and workloads")
 		compare = flag.Bool("compare", false, "run every architecture on every kernel")
@@ -122,7 +124,7 @@ func run() int {
 	defer stopSignals()
 
 	if *compare {
-		return runCompare(ctx, *width, *ops, *foot, *par, *jsonOut)
+		return runCompare(ctx, *width, *ops, *foot, *par, *jsonOut, *topdown)
 	}
 
 	res, err := ballerino.RunContext(ctx, ballerino.Config{
@@ -137,6 +139,7 @@ func run() int {
 		DisableMDP:     *noMDP,
 		DVFS:           *dvfs,
 		Audit:          *audit,
+		Topdown:        *topdown,
 		FaultSpec:      *inject,
 		TracePath:      *trace,
 		EventsPath:     *events,
@@ -186,6 +189,21 @@ func run() int {
 		fmt.Printf("  delay %-4s  d2d=%.1f d2r=%.1f r2i=%.1f (n=%d)\n",
 			cls, d.DecodeToDispatch, d.DispatchToReady, d.ReadyToIssue, d.Count)
 	}
+	if r := res.Topdown; r != nil {
+		fmt.Printf("  top-down    CPI %.3f over %d slots (%d-wide × %d cycles)\n",
+			r.CPI, r.TotalSlots, r.Width, r.Cycles)
+		for c := topdownpkg.Category(0); c < topdownpkg.NumCategories; c++ {
+			name := c.String()
+			if r.Slots[name] == 0 {
+				continue
+			}
+			fmt.Printf("    %-16s %6.2f%%  cpi %.4f\n",
+				name, 100*r.Fractions[name], r.CPIStack[name])
+		}
+		if r.OverIssue > 0 {
+			fmt.Printf("    %-16s %d slots beyond width (IXU)\n", "over-issue", r.OverIssue)
+		}
+	}
 	if sinks := res.Manifest.Sinks; len(sinks) > 0 {
 		for _, s := range sinks {
 			fmt.Printf("  wrote       %s (%s)\n", s.Path, s.Kind)
@@ -214,7 +232,7 @@ func run() int {
 	return 0
 }
 
-func runCompare(ctx context.Context, width, ops int, foot int64, par int, jsonOut bool) int {
+func runCompare(ctx context.Context, width, ops int, foot int64, par int, jsonOut, topdown bool) int {
 	archs := ballerino.Architectures()
 	wls := ballerino.Workloads()
 
@@ -226,7 +244,7 @@ func runCompare(ctx context.Context, width, ops int, foot int64, par int, jsonOu
 		for _, w := range wls {
 			cfgs = append(cfgs, ballerino.Config{
 				Arch: a, Width: width, Workload: w,
-				FootprintBytes: foot, MaxOps: ops,
+				FootprintBytes: foot, MaxOps: ops, Topdown: topdown,
 			})
 		}
 	}
@@ -290,6 +308,41 @@ func runCompare(ctx context.Context, width, ops int, foot int64, par int, jsonOu
 			fmt.Fprintf(tw, "\t%.2f", speedup)
 		}
 		fmt.Fprintf(tw, "\t%.2f\n", ballerino.GeoMean(ipcs))
+		tw.Flush()
+	}
+
+	if topdown {
+		// Per-architecture CPI stacks, averaged over the kernels: each
+		// column is a category's share of the total slot budget.
+		fmt.Println("\ntop-down slot shares (% of issue slots, all kernels):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "arch")
+		for _, name := range topdownpkg.Names() {
+			fmt.Fprintf(tw, "\t%s", name)
+		}
+		fmt.Fprintln(tw)
+		for i, a := range archs {
+			var slots [topdownpkg.NumCategories]uint64
+			var total uint64
+			for j := range wls {
+				rr := slot(i, j)
+				if rr.Err != nil || rr.Result.Topdown == nil {
+					continue
+				}
+				for c, n := range rr.Result.Topdown.Counts {
+					slots[c] += n
+				}
+				total += rr.Result.Topdown.TotalSlots
+			}
+			if total == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%s", a)
+			for _, n := range slots {
+				fmt.Fprintf(tw, "\t%.1f", 100*float64(n)/float64(total))
+			}
+			fmt.Fprintln(tw)
+		}
 		tw.Flush()
 	}
 	return 0

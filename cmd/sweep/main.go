@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/topdown"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run() int {
 		ops    = flag.Int("ops", 100_000, "μops per simulation")
 		warm   = flag.Int("warmup", 0, "warm-up μops before measurement")
 		par    = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight at once (1 = sequential)")
+		td     = flag.Bool("topdown", false, "append per-category top-down slot-fraction columns to every row")
 
 		traceDir   = flag.String("trace", "", "directory for per-run Chrome trace_event JSON files")
 		metricsDir = flag.String("metrics", "", "directory for per-run interval-metrics CSV files")
@@ -94,10 +96,18 @@ func run() int {
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
-	w.Write([]string{
+	header := []string{
 		"arch", "width", "workload", "ops", "cycles", "ipc",
 		"mispredict_rate", "violations", "energy_pj", "edp", "efficiency",
-	})
+	}
+	if *td {
+		// Stable schema: one fraction column per category, in Category
+		// order, prefixed so downstream tools can select them by glob.
+		for _, name := range topdown.Names() {
+			header = append(header, "td_"+name)
+		}
+	}
+	w.Write(header)
 
 	// Build the whole grid up front, then run it as one campaign: traces
 	// are shared across architectures and widths, and -parallel bounds the
@@ -118,6 +128,7 @@ func run() int {
 					MaxOps:      *ops,
 					WarmupOps:   *warm,
 					ObsInterval: *interval,
+					Topdown:     *td,
 				}
 				stem := fmt.Sprintf("%s-w%d-%s", cfg.Arch, cfg.Width, cfg.Workload)
 				if *traceDir != "" {
@@ -140,7 +151,7 @@ func run() int {
 			return 1
 		}
 		res := rr.Result
-		w.Write([]string{
+		row := []string{
 			res.Arch,
 			strconv.Itoa(res.Width),
 			res.Workload,
@@ -152,7 +163,13 @@ func run() int {
 			fmt.Sprintf("%.0f", res.EnergyPJ),
 			fmt.Sprintf("%.6g", res.EDP),
 			fmt.Sprintf("%.6g", res.Efficiency),
-		})
+		}
+		if *td && res.Topdown != nil {
+			for _, name := range topdown.Names() {
+				row = append(row, fmt.Sprintf("%.6f", res.Topdown.Fractions[name]))
+			}
+		}
+		w.Write(row)
 	}
 	return 0
 }

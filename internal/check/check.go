@@ -55,6 +55,14 @@ type Source interface {
 	Stats() *stats.Sim
 }
 
+// TopdownSource is the optional extension of Source implemented by
+// pipelines that carry a top-down cycle-accounting engine. The auditor
+// verifies the slot conservation invariant — blamed slots must equal
+// issue width × accounted cycles — every audited cycle when on is true.
+type TopdownSource interface {
+	TopdownConservation() (got, want uint64, on bool)
+}
+
 // ViolationError reports a broken simulation invariant. Autopsy is attached
 // by the pipeline when the violation aborts a run.
 type ViolationError struct {
@@ -258,6 +266,14 @@ func (a *Auditor) Check(s Source) error {
 		}
 		if name == "SQ" {
 			break
+		}
+	}
+
+	// --- Top-down slot conservation: every slot blamed exactly once ---
+	if ts, ok := s.(TopdownSource); ok {
+		if got, want, on := ts.TopdownConservation(); on && got != want {
+			return fail("topdown-conservation", "blamed %d issue slots but width × cycles = %d (Δ=%d)",
+				got, want, int64(got)-int64(want))
 		}
 	}
 

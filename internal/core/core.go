@@ -210,6 +210,9 @@ func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *s
 			b.events.QueueReads++
 			b.events.PSCBReads += 2
 			if portUsed.Used(u.Port) {
+				if ctx.PortBlocked != nil {
+					ctx.PortBlocked(u)
+				}
 				b.headStallDep++
 				continue
 			}
@@ -253,13 +256,17 @@ func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sche
 		b.events.QueueReads++
 		b.events.PSCBReads += 2
 
-		if ctx.Ready(u) && !portUsed.Used(u.Port) {
+		ready := ctx.Ready(u)
+		if ready && !portUsed.Used(u.Port) {
 			ctx.Grant(u)
 			b.events.PayloadReads++
 			portUsed.Set(u.Port)
 			b.issuedSIQ++
 			removed++
 			continue
+		}
+		if ready && ctx.PortBlocked != nil {
+			ctx.PortBlocked(u)
 		}
 		// Not ready (or §IV-C case 3: ready but its port is taken):
 		// steer to the P-IQs; a failure blocks the window here.

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"repro/internal/topdown"
 )
 
 // ManifestSchema identifies the manifest layout version.
@@ -38,6 +40,10 @@ type Manifest struct {
 	Metrics   *MetricsDump `json:"metrics,omitempty"`
 	Sinks     []SinkInfo   `json:"sinks,omitempty"`
 	Intervals int          `json:"intervals,omitempty"`
+
+	// Topdown is the CPI-stack cycle accounting; nil when -topdown was
+	// off, keeping manifests byte-identical to pre-feature runs.
+	Topdown *topdown.Report `json:"topdown,omitempty"`
 }
 
 // SimInfo names the simulated configuration.

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/sched"
+	"repro/internal/topdown"
 )
 
 // Kind identifies a pipeline event.
@@ -348,6 +349,12 @@ type Snapshot struct {
 	SchedOccupancy int
 	LQ             int
 	SQ             int
+
+	// Topdown carries the cumulative per-category slot counters when
+	// cycle accounting is attached (a fixed-size array keeps Snapshot
+	// comparable, which Finish relies on).
+	TopdownOn bool
+	Topdown   [topdown.NumCategories]uint64
 }
 
 // Interval is the per-heartbeat delta between two snapshots — the row type
@@ -369,6 +376,11 @@ type Interval struct {
 	SchedOccupancy int
 	LQ             int
 	SQ             int
+
+	// Topdown is the per-category slot delta in topdown.Names() order;
+	// nil when cycle accounting is off, so JSONL/SSE rows are byte-for-
+	// byte identical to runs that predate the feature.
+	Topdown []uint64 `json:"Topdown,omitempty"`
 }
 
 // IPC returns committed μops per cycle within the interval.
@@ -380,7 +392,7 @@ func (iv Interval) IPC() float64 {
 }
 
 func (s Snapshot) delta(prev Snapshot) Interval {
-	return Interval{
+	iv := Interval{
 		StartCycle:     prev.Cycle,
 		EndCycle:       s.Cycle,
 		Committed:      s.Committed - prev.Committed,
@@ -395,4 +407,11 @@ func (s Snapshot) delta(prev Snapshot) Interval {
 		LQ:             s.LQ,
 		SQ:             s.SQ,
 	}
+	if s.TopdownOn {
+		iv.Topdown = make([]uint64, topdown.NumCategories)
+		for i := range iv.Topdown {
+			iv.Topdown[i] = s.Topdown[i] - prev.Topdown[i]
+		}
+	}
+	return iv
 }

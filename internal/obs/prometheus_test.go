@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -231,7 +232,7 @@ func TestRecorderIntervalFanOut(t *testing.T) {
 		t.Fatalf("fan-out counts: sink=%d a=%d b=%d, want 3 each", len(mem.Intervals), len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != mem.Intervals[i] || b[i] != mem.Intervals[i] {
+		if !reflect.DeepEqual(a[i], mem.Intervals[i]) || !reflect.DeepEqual(b[i], mem.Intervals[i]) {
 			t.Errorf("interval %d differs between hook and sink", i)
 		}
 	}

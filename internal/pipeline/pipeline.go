@@ -23,6 +23,7 @@ import (
 	"repro/internal/rename"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/topdown"
 )
 
 // Injector is the fault-injection hook surface. internal/faults implements
@@ -309,7 +310,11 @@ type Pipeline struct {
 	// Front end.
 	fetchIdx        int // next trace index to fetch
 	fetchStallUntil uint64
-	decodeQ         decodeRing
+	// fetchStallIsRecovery distinguishes a mispredict/flush recovery
+	// penalty (branch-recovery blame) from an icache-miss fetch stall
+	// (frontend blame); it is set beside every fetchStallUntil write.
+	fetchStallIsRecovery bool
+	decodeQ              decodeRing
 
 	// Back end.
 	rob          robRing // in program order; at(0) is the oldest
@@ -354,6 +359,11 @@ type Pipeline struct {
 	// periodic heartbeat snapshots. A nil recorder costs one untaken
 	// branch per emit site — the zero-cost-when-off contract.
 	obs *obs.Recorder
+
+	// td, when non-nil, attributes every issue slot of every cycle to a
+	// CPI-stack category. When nil the issue path keeps its original
+	// closures (AttachTopdown swaps them), so a disabled engine is free.
+	td *topdown.Engine
 
 	stats stats.Sim
 
@@ -499,11 +509,91 @@ func (p *Pipeline) AttachObs(r *obs.Recorder) {
 	})
 }
 
+// AttachTopdown attaches a top-down cycle-accounting engine (nil
+// detaches). Rather than branch on p.td inside ready/grant, the issue
+// context's closures are swapped for instrumented wrappers, so a run
+// without accounting pays nothing on the issue path — not even an
+// untaken branch.
+func (p *Pipeline) AttachTopdown(e *topdown.Engine) {
+	p.td = e
+	if e == nil {
+		p.issueCtx = sched.IssueCtx{Ready: p.ready, Grant: p.grant}
+		return
+	}
+	p.issueCtx = sched.IssueCtx{
+		Ready:       p.readyTD,
+		Grant:       p.grantTD,
+		PortBlocked: p.portBlockedTD,
+	}
+}
+
+// Topdown returns the attached cycle-accounting engine (nil when off).
+func (p *Pipeline) Topdown() *topdown.Engine { return p.td }
+
+// TopdownConservation implements check.TopdownSource: the auditor
+// verifies blamed slots == width × cycles every cycle.
+func (p *Pipeline) TopdownConservation() (got, want uint64, on bool) {
+	return p.td.Conservation()
+}
+
+// readyTD is ready plus blame classification for examined-but-blocked
+// μops (the scheduler looked at u and moved on).
+func (p *Pipeline) readyTD(u *sched.UOp) bool {
+	if p.ready(u) {
+		return true
+	}
+	p.noteBlocked(u)
+	return false
+}
+
+// grantTD is grant plus a granted-slot note.
+func (p *Pipeline) grantTD(u *sched.UOp) {
+	p.grant(u)
+	p.td.NoteGrant()
+}
+
+// portBlockedTD classifies a μop skipped because its issue port was
+// already granted: FU contention if it was otherwise ready, else
+// whatever actually blocks it. (Schedulers check the port before
+// readiness, so u's readiness is unknown here; the extra ready() call
+// only runs with accounting attached and is idempotent — its only side
+// effect, MDPBlockedSince, is a debug first-blocked timestamp.)
+func (p *Pipeline) portBlockedTD(u *sched.UOp) {
+	if p.ready(u) {
+		p.td.NoteFUBlock()
+	} else {
+		p.noteBlocked(u)
+	}
+}
+
+// noteBlocked attributes a non-ready examined μop to memory (an
+// in-flight-load source or unresolved memory-dependence wait — the
+// load-delay blame rule), plain dependence wait, or a busy
+// non-pipelined unit.
+func (p *Pipeline) noteBlocked(u *sched.UOp) {
+	for _, s := range u.Src {
+		if p.rn.FastReady(s) {
+			continue
+		}
+		if p.rn.LoadDep(s) {
+			p.td.NoteMemBlock()
+		} else {
+			p.td.NoteDepBlock()
+		}
+		return
+	}
+	if u.D.Op.IsMem() && !p.mdpResolved(u) {
+		p.td.NoteMemBlock()
+		return
+	}
+	p.td.NoteFUBlock() // non-pipelined unit busy on u's port
+}
+
 // ObsSnapshot samples the cumulative counters and queue levels for an
 // observability heartbeat.
 func (p *Pipeline) ObsSnapshot() obs.Snapshot {
 	nl, ns := p.lsq.Counts()
-	return obs.Snapshot{
+	s := obs.Snapshot{
 		Cycle:          p.cycle,
 		Committed:      p.stats.Committed,
 		Fetched:        p.stats.Fetched,
@@ -517,6 +607,11 @@ func (p *Pipeline) ObsSnapshot() obs.Snapshot {
 		LQ:             nl,
 		SQ:             ns,
 	}
+	if p.td != nil {
+		s.TopdownOn = true
+		s.Topdown = p.td.Counts()
+	}
+	return s
 }
 
 // DebugState renders a snapshot of the pipeline's head state, used when
@@ -631,6 +726,11 @@ func (p *Pipeline) step() {
 	p.dispatch()
 	p.fetch()
 	p.stats.OccupancySum += uint64(p.sched.Occupancy())
+	if p.td != nil {
+		p.td.EndCycle(p.sched.Occupancy(),
+			p.cycle < p.fetchStallUntil && p.fetchStallIsRecovery,
+			p.decodeQ.n >= p.cfg.DecodeQueue)
+	}
 	if p.obs != nil && p.obs.HeartbeatDue(p.cycle) {
 		p.obs.Heartbeat(p.ObsSnapshot())
 	}
@@ -748,6 +848,7 @@ func (p *Pipeline) processCompletions() {
 			// the recovery penalty. No younger μop entered the pipeline,
 			// so overwriting the stall is safe.
 			p.fetchStallUntil = p.cycle + p.cfg.RecoveryPenalty
+			p.fetchStallIsRecovery = true
 		}
 		if u.Squashed || u.Committed {
 			p.recycle(u)
@@ -818,6 +919,7 @@ func (p *Pipeline) flushFrom(bound uint64) {
 	// branch would otherwise leave its (now meaningless) sentinel behind.
 	p.fetchIdx = int(bound)
 	p.fetchStallUntil = p.cycle + p.cfg.RecoveryPenalty
+	p.fetchStallIsRecovery = true
 }
 
 // squash undoes one μop's side effects (reverse program order).
@@ -959,7 +1061,7 @@ func (p *Pipeline) executeLoad(u *sched.UOp) uint64 {
 
 func (p *Pipeline) dispatch() {
 	if p.inj != nil && p.decodeQ.n > 0 && p.inj.StallDispatch(p.cycle) {
-		p.dispatchStall(p.decodeQ.at(0).u)
+		p.dispatchStall(p.decodeQ.at(0).u, topdown.StallInjected)
 		return
 	}
 	for n := 0; n < p.cfg.RenameWidth && p.decodeQ.n > 0; n++ {
@@ -968,18 +1070,22 @@ func (p *Pipeline) dispatch() {
 		if de.visibleAt > p.cycle {
 			return // still in the fetch/decode/rename pipeline
 		}
-		if p.rob.n >= p.cfg.ROBSize || !p.lsq.CanAccept(u) {
-			p.dispatchStall(u)
+		if p.rob.n >= p.cfg.ROBSize {
+			p.dispatchStall(u, topdown.StallROB)
+			return
+		}
+		if !p.lsq.CanAccept(u) {
+			p.dispatchStall(u, topdown.StallLSQ)
 			return
 		}
 		if !de.renamed {
 			if !p.renameOne(de) {
-				p.dispatchStall(u)
+				p.dispatchStall(u, topdown.StallRename)
 				return
 			}
 		}
 		if !p.sched.Dispatch(u, p.cycle) {
-			p.dispatchStall(u)
+			p.dispatchStall(u, topdown.StallIQ)
 			return
 		}
 		// Accepted: enter ROB and LSQ. Push before popping the decode slot
@@ -997,9 +1103,23 @@ func (p *Pipeline) dispatch() {
 }
 
 // dispatchStall counts (and, when observed, reports) a cycle in which the
-// head μop could not move through rename/dispatch.
-func (p *Pipeline) dispatchStall(u *sched.UOp) {
+// head μop could not move through rename/dispatch, splitting the legacy
+// conflated counter by cause.
+func (p *Pipeline) dispatchStall(u *sched.UOp, cause topdown.StallCause) {
 	p.stats.DispatchStall++
+	switch cause {
+	case topdown.StallROB:
+		p.stats.StallROBFull++
+	case topdown.StallLSQ:
+		p.stats.StallLSQFull++
+	case topdown.StallRename:
+		p.stats.StallRename++
+	case topdown.StallIQ:
+		p.stats.StallIQFull++
+	case topdown.StallInjected:
+		p.stats.StallInjected++
+	}
+	p.td.NoteDispatchStall(cause)
 	if p.obs != nil {
 		p.obs.Emit(obs.Event{Kind: obs.KindStall, Cycle: p.cycle, Seq: u.Seq(),
 			PC: uint64(u.D.PC), Op: u.D.Op})
@@ -1095,6 +1215,7 @@ func (p *Pipeline) fetch() {
 		iAddr := uint64(d.PC) * 4
 		if fdone := p.mem.Fetch(iAddr, p.cycle); fdone > p.cycle+p.cfg.Mem.L1I.HitLatency {
 			p.fetchStallUntil = fdone
+			p.fetchStallIsRecovery = false // icache miss: frontend, not recovery
 			return
 		}
 
@@ -1128,6 +1249,7 @@ func (p *Pipeline) fetch() {
 				p.stats.Mispredicts++
 				u.Mispred = true
 				p.fetchStallUntil = ^uint64(0) >> 1 // resolved at completion
+				p.fetchStallIsRecovery = true
 				return
 			}
 			if d.Taken {

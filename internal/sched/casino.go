@@ -88,7 +88,13 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 		u := last.Head()
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
-		if portUsed.Used(u.Port) || !ctx.Ready(u) {
+		if portUsed.Used(u.Port) {
+			if ctx.PortBlocked != nil {
+				ctx.PortBlocked(u)
+			}
+			break // in-order: the head blocks everything younger
+		}
+		if !ctx.Ready(u) {
 			break // in-order: the head blocks everything younger
 		}
 		ctx.Grant(u)
@@ -115,7 +121,16 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 			u := q.At(n)
 			s.events.QueueReads++
 			s.events.PSCBReads += 2
-			if granted >= s.width || portUsed.Used(u.Port) || !ctx.Ready(u) {
+			if granted >= s.width {
+				continue
+			}
+			if portUsed.Used(u.Port) {
+				if ctx.PortBlocked != nil {
+					ctx.PortBlocked(u)
+				}
+				continue
+			}
+			if !ctx.Ready(u) {
 				continue
 			}
 			ctx.Grant(u)

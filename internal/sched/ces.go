@@ -191,6 +191,9 @@ func (s *CES) Issue(cycle uint64, ctx *IssueCtx) {
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
 		if portUsed.Used(u.Port) {
+			if ctx.PortBlocked != nil {
+				ctx.PortBlocked(u)
+			}
 			s.headStallDep++
 			continue
 		}

@@ -53,7 +53,14 @@ func (s *InO) Issue(cycle uint64, ctx *IssueCtx) {
 		u := s.entries.Head()
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
-		if !ctx.Ready(u) || portUsed.Used(u.Port) {
+		if !ctx.Ready(u) {
+			s.stalls++
+			return
+		}
+		if portUsed.Used(u.Port) {
+			if ctx.PortBlocked != nil {
+				ctx.PortBlocked(u)
+			}
 			s.stalls++
 			return
 		}

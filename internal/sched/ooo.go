@@ -117,6 +117,9 @@ func (s *OoO) Issue(cycle uint64, ctx *IssueCtx) {
 		}
 		u := s.slots[idx]
 		if portUsed.Used(u.Port) {
+			if ctx.PortBlocked != nil {
+				ctx.PortBlocked(u)
+			}
 			continue
 		}
 		if !ctx.Ready(u) {

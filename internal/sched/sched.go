@@ -131,6 +131,12 @@ type IssueCtx struct {
 	// Grant issues u this cycle. The scheduler must respect one grant per
 	// issue port per cycle.
 	Grant func(u *UOp)
+	// PortBlocked, when non-nil, reports that the scheduler skipped u
+	// because its issue port was already granted this cycle. It is only
+	// set while the pipeline's topdown cycle accounting is attached —
+	// schedulers must nil-check it — and it classifies the lost slot
+	// (FU contention when u was otherwise ready) for the CPI stack.
+	PortBlocked func(u *UOp)
 }
 
 // Scheduler is the issue-queue organisation under evaluation. The

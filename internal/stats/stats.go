@@ -47,6 +47,16 @@ type Sim struct {
 	Squashed      uint64 // μops removed by pipeline flushes (later refetched)
 	DispatchStall uint64 // cycles rename/dispatch could not move the head μop
 
+	// Typed dispatch-stall causes. DispatchStall stays their sum — the
+	// legacy aggregate every existing consumer (goldens, manifests,
+	// telemetry) keeps reading — while the split feeds the stall
+	// breakdown in String() and the topdown CPI stacks.
+	StallROBFull  uint64 // reorder buffer full
+	StallLSQFull  uint64 // load or store queue full
+	StallRename   uint64 // no free physical register
+	StallIQFull   uint64 // scheduler (issue queue) refused the μop
+	StallInjected uint64 // fault injector vetoed dispatch
+
 	// Delay breakdowns indexed by sched.Class, plus the all-class sum.
 	Delay [3]DelayBreakdown
 	All   DelayBreakdown
@@ -109,9 +119,13 @@ func (s *Sim) MispredictRate() float64 {
 	return float64(s.Mispredicts) / float64(s.Branches)
 }
 
-// String summarises the run.
+// String summarises the run. The dispatch-stall breakdown follows the
+// same convention as the aggregate counters: raw cycle counts, already
+// clamped at source (a cause is only counted on a cycle the head μop
+// could not move), so the bracketed causes sum to dispatch-stalls.
 func (s *Sim) String() string {
-	return fmt.Sprintf("cycles=%d committed=%d IPC=%.3f mispredict=%.2f%% violations=%d flushes=%d squashed=%d dispatch-stalls=%d",
+	return fmt.Sprintf("cycles=%d committed=%d IPC=%.3f mispredict=%.2f%% violations=%d flushes=%d squashed=%d dispatch-stalls=%d stall[rob=%d lsq=%d rename=%d iq=%d inject=%d]",
 		s.Cycles, s.Committed, s.IPC(), 100*s.MispredictRate(), s.Violations,
-		s.Flushes, s.Squashed, s.DispatchStall)
+		s.Flushes, s.Squashed, s.DispatchStall,
+		s.StallROBFull, s.StallLSQFull, s.StallRename, s.StallIQFull, s.StallInjected)
 }

@@ -93,6 +93,27 @@ func TestStringContainsKeyFields(t *testing.T) {
 	}
 }
 
+func TestStringContainsStallBreakdown(t *testing.T) {
+	s := Sim{DispatchStall: 15, StallROBFull: 5, StallLSQFull: 4,
+		StallRename: 3, StallIQFull: 2, StallInjected: 1}
+	out := s.String()
+	if want := "stall[rob=5 lsq=4 rename=3 iq=2 inject=1]"; !strings.Contains(out, want) {
+		t.Errorf("String() = %q missing %q", out, want)
+	}
+}
+
+func TestTypedStallsSumToLegacyCounter(t *testing.T) {
+	// The legacy DispatchStall field stays the sum of the typed causes —
+	// the compatibility contract golden digests and dashboards rely on.
+	s := Sim{StallROBFull: 5, StallLSQFull: 4, StallRename: 3,
+		StallIQFull: 2, StallInjected: 1}
+	s.DispatchStall = s.StallROBFull + s.StallLSQFull + s.StallRename +
+		s.StallIQFull + s.StallInjected
+	if s.DispatchStall != 15 {
+		t.Errorf("typed stall sum = %d, want 15", s.DispatchStall)
+	}
+}
+
 func TestEmptyBreakdownAverages(t *testing.T) {
 	var d DelayBreakdown
 	a, b, c := d.Avg()

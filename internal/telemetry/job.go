@@ -8,6 +8,7 @@ import (
 	ballerino "repro"
 	"repro/internal/obs"
 	"repro/internal/span"
+	"repro/internal/topdown"
 )
 
 // JobSpec is the wire form of one simulation job — the subset of
@@ -29,6 +30,10 @@ type JobSpec struct {
 	// 100× the dynamic μop budget) — the knob chaos and dead-letter tests
 	// use to make a job fail deterministically.
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// Topdown attaches top-down CPI-stack cycle accounting to the run; the
+	// per-category slot counters then stream through the heartbeat fan-out
+	// and land in the job view and /metrics.
+	Topdown bool `json:"topdown,omitempty"`
 }
 
 // Config lowers the spec to a runnable ballerino.Config.
@@ -45,6 +50,7 @@ func (sp JobSpec) Config() ballerino.Config {
 		DisableMDP:     sp.DisableMDP,
 		DVFS:           sp.DVFS,
 		MaxCycles:      sp.MaxCycles,
+		Topdown:        sp.Topdown,
 	}
 }
 
@@ -116,21 +122,24 @@ type Job struct {
 
 // JobView is the JSON rendering of a job's state.
 type JobView struct {
-	ID          int           `json:"id"`
-	State       JobState      `json:"state"`
-	Error       string        `json:"error,omitempty"`
-	Stage       string        `json:"stage,omitempty"`
-	Attempts    int           `json:"attempts,omitempty"`
-	Resumed     bool          `json:"resumed,omitempty"`
-	FromStore   bool          `json:"from_store,omitempty"`
-	NextRetryAt string        `json:"next_retry_at,omitempty"`
-	Spec        JobSpec       `json:"spec"`
-	SubmittedAt string        `json:"submitted_at,omitempty"`
-	StartedAt   string        `json:"started_at,omitempty"`
-	FinishedAt  string        `json:"finished_at,omitempty"`
-	Intervals   int           `json:"intervals,omitempty"`
-	TraceID     string        `json:"trace_id,omitempty"`
-	Manifest    *obs.Manifest `json:"manifest,omitempty"`
+	ID          int      `json:"id"`
+	State       JobState `json:"state"`
+	Error       string   `json:"error,omitempty"`
+	Stage       string   `json:"stage,omitempty"`
+	Attempts    int      `json:"attempts,omitempty"`
+	Resumed     bool     `json:"resumed,omitempty"`
+	FromStore   bool     `json:"from_store,omitempty"`
+	NextRetryAt string   `json:"next_retry_at,omitempty"`
+	Spec        JobSpec  `json:"spec"`
+	SubmittedAt string   `json:"submitted_at,omitempty"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+	Intervals   int      `json:"intervals,omitempty"`
+	TraceID     string   `json:"trace_id,omitempty"`
+	// Topdown is the per-category issue-slot tally accumulated so far
+	// (final once the job is done); present only for Topdown jobs.
+	Topdown  map[string]uint64 `json:"topdown,omitempty"`
+	Manifest *obs.Manifest     `json:"manifest,omitempty"`
 }
 
 func fmtTime(t time.Time) string {
@@ -165,6 +174,7 @@ func (j *Job) View(withManifest bool) JobView {
 	}
 	if j.live != nil {
 		v.Intervals = j.live.intervalCount()
+		v.Topdown = j.live.topdownView()
 	}
 	if withManifest {
 		v.Manifest = j.manifest
@@ -275,6 +285,8 @@ type liveJob struct {
 	cycles, committed, fetched, issued   uint64
 	flushes, squashed, stalls            uint64
 	mispredicts, violations              uint64
+	topdown                              [topdown.NumCategories]uint64
+	topdownOn                            bool
 	dump                                 *obs.MetricsDump
 	done                                 bool
 	finalIPC, finalEnergyPJ, finalOccAvg float64
@@ -300,6 +312,12 @@ func (l *liveJob) observe(iv obs.Interval, dump *obs.MetricsDump) {
 	l.stalls += iv.DispatchStalls
 	l.mispredicts += iv.Mispredicts
 	l.violations += iv.Violations
+	if len(iv.Topdown) == len(l.topdown) {
+		l.topdownOn = true
+		for i, v := range iv.Topdown {
+			l.topdown[i] += v
+		}
+	}
 	l.dump = dump
 }
 
@@ -313,6 +331,8 @@ func (l *liveJob) reset() {
 	l.cycles, l.committed, l.fetched, l.issued = 0, 0, 0, 0
 	l.flushes, l.squashed, l.stalls = 0, 0, 0
 	l.mispredicts, l.violations = 0, 0
+	l.topdown = [topdown.NumCategories]uint64{}
+	l.topdownOn = false
 	l.dump = nil
 	l.done = false
 	l.finalIPC, l.finalEnergyPJ, l.finalOccAvg = 0, 0, 0
@@ -338,6 +358,10 @@ func (l *liveJob) finish(m *obs.Manifest) {
 	l.finalIPC = m.Stats.IPC
 	l.finalEnergyPJ = m.Energy.TotalPJ
 	l.finalOccAvg = m.Stats.AvgOccupancy
+	if m.Topdown != nil {
+		l.topdown = m.Topdown.Counts
+		l.topdownOn = true
+	}
 	l.dump = m.Metrics
 }
 
@@ -345,4 +369,19 @@ func (l *liveJob) intervalCount() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.intervals
+}
+
+// topdownView returns a name-keyed copy of the accumulated per-category
+// issue-slot counters, or nil when the job runs without cycle accounting.
+func (l *liveJob) topdownView() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.topdownOn {
+		return nil
+	}
+	m := make(map[string]uint64, len(l.topdown))
+	for i, name := range topdown.Names() {
+		m[name] = l.topdown[i]
+	}
+	return m
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/topdown"
 )
 
 // handleMetrics renders the Prometheus exposition: service counters, the
@@ -72,6 +73,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	var dump *obs.MetricsDump
 	var labels obs.PromLabels
+	var td [topdown.NumCategories]uint64
+	tdOn := false
 	if live != nil {
 		labels = obs.PromLabels{
 			"job":      strconv.Itoa(live.jobID),
@@ -105,6 +108,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			{Name: "ballserved_job_done", Help: "1 once the job reached a terminal state and the gauges are final.", Value: b2f(live.done)},
 		}
 		dump = live.dump
+		td = live.topdown
+		tdOn = live.topdownOn
 		live.mu.Unlock()
 		for i := range jg {
 			jg[i].Labels = labels
@@ -113,6 +118,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	obs.WritePromGauges(&b, gauges)
+	if tdOn {
+		// Per-category issue-slot attribution of the live job: the series
+		// sum to width × cycles by the engine's conservation invariant, so
+		// `category / sum` is directly the slot share.
+		const name = "ballerino_topdown_slots_total"
+		fmt.Fprintf(&b, "# HELP %s Issue slots attributed to each top-down category.\n# TYPE %s counter\n", name, name)
+		for i, cat := range topdown.Names() {
+			fmt.Fprintf(&b, "%s{arch=%q,category=%q,job=%q,workload=%q} %d\n",
+				name, labels["arch"], cat, labels["job"], labels["workload"], td[i])
+		}
+	}
 	// Lifecycle latency distributions, buckets annotated with exemplar
 	// trace IDs (OpenMetrics syntax; plain-Prometheus scrapers treat the
 	// ` # {...}` suffix as a comment).

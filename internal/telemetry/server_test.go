@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"repro/internal/topdown"
+
 	"bufio"
 	"bytes"
 	"context"
@@ -487,5 +489,60 @@ func TestMultiWorkerServer(t *testing.T) {
 	hits := mets["ballserved_trace_cache_hits_total"] + mets["ballserved_trace_cache_joins_total"]
 	if hits != float64(len(specs))-2 {
 		t.Errorf("hits+joins = %v, want %d", hits, len(specs)-2)
+	}
+}
+
+// TestTopdownJobTelemetry runs a Topdown job to completion and checks the
+// cycle accounting surfaces end to end: the manifest carries the report,
+// the job view exposes a conserved per-category slot map, and /metrics
+// emits one ballerino_topdown_slots_total series per category with the
+// manifest's final values.
+func TestTopdownJobTelemetry(t *testing.T) {
+	s, ts := newTestServer(t)
+	v := submitJob(t, ts, JobSpec{Arch: "OoO", Workload: "stream", Ops: 10_000, Topdown: true})
+	job := waitForState(t, s, v.ID, JobDone)
+	m := job.Manifest()
+	if m == nil || m.Topdown == nil {
+		t.Fatal("done topdown job has no topdown report in its manifest")
+	}
+
+	view := job.View(false)
+	if view.Topdown == nil {
+		t.Fatal("job view has no topdown tally")
+	}
+	var sum uint64
+	for i, name := range topdown.Names() {
+		c, ok := view.Topdown[name]
+		if !ok {
+			t.Fatalf("job view topdown missing category %q", name)
+		}
+		if c != m.Topdown.Counts[i] {
+			t.Errorf("view %s = %d, want manifest's %d", name, c, m.Topdown.Counts[i])
+		}
+		sum += c
+	}
+	if sum != m.Topdown.TotalSlots {
+		t.Errorf("view slots sum to %d, want width × cycles = %d", sum, m.Topdown.TotalSlots)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for i, name := range topdown.Names() {
+		want := fmt.Sprintf("ballerino_topdown_slots_total{arch=\"OoO\",category=%q,job=\"%d\",workload=\"stream\"} %d",
+			name, v.ID, m.Topdown.Counts[i])
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing series %q", want)
+		}
+	}
+
+	// A job without accounting must not grow a topdown tally.
+	v2 := submitJob(t, ts, JobSpec{Arch: "OoO", Workload: "stream", Ops: 10_000})
+	plain := waitForState(t, s, v2.ID, JobDone)
+	if pv := plain.View(false); pv.Topdown != nil {
+		t.Errorf("non-topdown job view has topdown tally %v", pv.Topdown)
 	}
 }

@@ -1,0 +1,158 @@
+package ballerino_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	ballerino "repro"
+	"repro/internal/topdown"
+)
+
+// TestTopdownReport verifies the public surface: a Topdown run returns a
+// conserved, CPI-stacked report; a plain run returns nil.
+func TestTopdownReport(t *testing.T) {
+	cfg := ballerino.Config{Arch: "Ballerino", Workload: "stream", MaxOps: 20_000, Topdown: true}
+	res, err := ballerino.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Topdown
+	if r == nil {
+		t.Fatal("Topdown run returned no report")
+	}
+	if r.Width != res.Width || r.Cycles != res.Cycles {
+		t.Errorf("report identity: width %d cycles %d, run width %d cycles %d",
+			r.Width, r.Cycles, res.Width, res.Cycles)
+	}
+	var sum uint64
+	for _, c := range r.Counts {
+		sum += c
+	}
+	if sum != r.TotalSlots || r.TotalSlots != uint64(r.Width)*r.Cycles {
+		t.Errorf("conservation: slot sum %d, total %d, width×cycles %d",
+			sum, r.TotalSlots, uint64(r.Width)*r.Cycles)
+	}
+	// The CPI stack must sum back to the run's CPI.
+	var cpi float64
+	for _, v := range r.CPIStack {
+		cpi += v
+	}
+	if want := float64(res.Cycles) / float64(res.Committed); cpi < want*0.999 || cpi > want*1.001 {
+		t.Errorf("CPI stack sums to %.4f, run CPI is %.4f", cpi, want)
+	}
+	if res.Manifest.Topdown != r {
+		t.Error("manifest does not carry the same report")
+	}
+
+	off, err := ballerino.Run(ballerino.Config{Arch: "Ballerino", Workload: "stream", MaxOps: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Topdown != nil || off.Manifest.Topdown != nil {
+		t.Error("plain run carries a topdown report")
+	}
+}
+
+// TestTopdownManifestByteStable is the golden-corpus guard: with Topdown
+// off (the default) the canonical run manifest must be byte-for-byte what
+// it was before the feature existed — no "topdown" key, no reordered
+// fields — and a Topdown run must differ only by that added section.
+func TestTopdownManifestByteStable(t *testing.T) {
+	base := ballerino.Config{Arch: "OoO", Workload: "store-load", MaxOps: 15_000}
+
+	off1, err := ballerino.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := ballerino.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.Topdown = true
+	onRes, err := ballerino.Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, err := off1.Manifest.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := off2.Manifest.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("two identical Topdown-off runs produced different canonical manifests")
+	}
+	if bytes.Contains(j1, []byte(`"topdown"`)) {
+		t.Error("Topdown-off manifest contains a topdown key")
+	}
+
+	jOn, err := onRes.Manifest.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(jOn, []byte(`"topdown"`)) {
+		t.Error("Topdown-on manifest missing its topdown section")
+	}
+	// Stripping the section must recover the exact off-state bytes: the
+	// accounting may not perturb any timing-visible statistic.
+	stripped := *onRes.Manifest
+	stripped.Topdown = nil
+	jStripped, err := stripped.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jStripped, j1) {
+		t.Errorf("Topdown-on manifest differs beyond its topdown section:\n--- off ---\n%s\n--- on stripped ---\n%s", j1, jStripped)
+	}
+}
+
+// TestTopdownContentKey pins the durable-store identity rules: Topdown-off
+// keys are byte-stable against the pre-feature format, and a Topdown run
+// gets a distinct key (its stored manifest has extra content).
+func TestTopdownContentKey(t *testing.T) {
+	base := ballerino.Config{Arch: "Ballerino", Workload: "stream"}
+	kOff, err := base.ContentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(kOff, "td:") {
+		t.Errorf("Topdown-off key %q mentions topdown (breaks stored-result lookups)", kOff)
+	}
+	on := base
+	on.Topdown = true
+	kOn, err := on.ContentKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kOn == kOff {
+		t.Error("Topdown-on and -off configs share a content key")
+	}
+	if !strings.HasPrefix(kOn, kOff) {
+		t.Errorf("Topdown key %q is not a suffix extension of %q", kOn, kOff)
+	}
+}
+
+// TestTopdownCategoriesAreStable pins the category names: they are JSON
+// map keys, CSV columns and Prometheus label values, so renaming one is a
+// breaking schema change that must be made consciously.
+func TestTopdownCategoriesAreStable(t *testing.T) {
+	want := []string{
+		"base", "frontend", "branch_recovery", "rob_full", "rename_stall",
+		"dispatch_q_full", "iq_full", "lsq_full", "dep_wait", "memory",
+		"fu_contention",
+	}
+	got := topdown.Names()
+	if len(got) != len(want) {
+		t.Fatalf("category count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("category %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

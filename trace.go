@@ -81,9 +81,16 @@ func (c Config) ContentKey() (string, error) {
 		return "", &SimError{Stage: "config", Arch: rc.Arch, Workload: rc.Workload,
 			Err: fmt.Errorf("custom programs have no durable content key")}
 	}
-	return fmt.Sprintf("arch:%s|w:%d|piqs:%d.%d|mdp:%t|dvfs:%s|faults:%s|audit:%t|%s",
+	key := fmt.Sprintf("arch:%s|w:%d|piqs:%d.%d|mdp:%t|dvfs:%s|faults:%s|audit:%t|%s",
 		rc.Arch, rc.Width, rc.NumPIQs, rc.PIQDepth, !rc.DisableMDP, rc.DVFS,
-		rc.FaultSpec, rc.Audit, traceKey(rc.Config)), nil
+		rc.FaultSpec, rc.Audit, traceKey(rc.Config))
+	// Appended only when on, so every pre-feature key stays byte-stable;
+	// a topdown run carries extra manifest content and must not be served
+	// from (or overwrite) a plain run's stored result.
+	if rc.Topdown {
+		key += "|td:true"
+	}
+	return key, nil
 }
 
 // traceKey derives the content key of the trace a config needs. cfg must

@@ -48,8 +48,8 @@ type Config struct {
 	Arch string
 	// Width is the issue width: 2, 4, 8 or 10. Default 8.
 	Width int
-	// Workload is one of Workloads(). Default "stream". Ignored when
-	// Custom is set.
+	// Workload is the name of one of Kernels(). Default "stream". Ignored
+	// when Custom is set.
 	Workload string
 	// Custom, when non-nil, simulates a user-authored program (see
 	// package repro/uprog) instead of a named kernel.
@@ -219,7 +219,7 @@ func (c Config) resolve() (resolved, error) {
 		return rc, fail("unsupported issue width %d (valid: 2, 4, 8, 10)", rc.Width)
 	}
 	if rc.Custom == nil && !kernelSet()[rc.Workload] {
-		return rc, fail("unknown workload %q (valid: %v, extras: %v)", rc.Workload, Workloads(), ExtraWorkloads())
+		return rc, fail("unknown workload %q (valid: %v, extras: %v)", rc.Workload, kernelNames(false), kernelNames(true))
 	}
 	if rc.MaxOps < 0 {
 		return rc, fail("MaxOps %d must not be negative", rc.MaxOps)
@@ -372,29 +372,36 @@ func Kernels() []Kernel {
 	return slices.Clone(kernelList())
 }
 
-// Workloads lists the standard synthetic kernel suite (the set every
-// figure-level experiment averages over).
-func Workloads() []string {
+// kernelNames lists the catalogue names with the given Extra flag.
+func kernelNames(extra bool) []string {
 	var names []string
 	for _, k := range kernelList() {
-		if !k.Extra {
+		if k.Extra == extra {
 			names = append(names, k.Name)
 		}
 	}
 	return names
 }
 
+// Workloads lists the standard synthetic kernel suite (the set every
+// figure-level experiment averages over).
+//
+// Deprecated: Kernels is the one catalogue entry point; filter on
+// Kernel.Extra == false for the standard suite. Workloads remains as a
+// thin alias.
+func Workloads() []string {
+	return kernelNames(false)
+}
+
 // ExtraWorkloads lists additional kernels runnable by name but excluded
 // from the calibrated figure suite (tree search, sorting passes, FFT
 // butterflies).
+//
+// Deprecated: Kernels is the one catalogue entry point; filter on
+// Kernel.Extra == true for the extras. ExtraWorkloads remains as a thin
+// alias.
 func ExtraWorkloads() []string {
-	var names []string
-	for _, k := range kernelList() {
-		if k.Extra {
-			names = append(names, k.Name)
-		}
-	}
-	return names
+	return kernelNames(true)
 }
 
 // Run executes one simulation. Every failure is a *SimError; no panic

@@ -45,8 +45,8 @@ func TestListingsNonEmpty(t *testing.T) {
 	if len(Architectures()) < 10 {
 		t.Errorf("architectures: %v", Architectures())
 	}
-	if len(Workloads()) < 10 {
-		t.Errorf("workloads: %v", Workloads())
+	if len(Kernels()) < 10 {
+		t.Errorf("kernels: %v", Kernels())
 	}
 }
 
@@ -168,7 +168,12 @@ func TestWarmupReportsMeasuredRegionOnly(t *testing.T) {
 }
 
 func TestExtraWorkloadsRunnable(t *testing.T) {
-	extras := ExtraWorkloads()
+	var extras []string
+	for _, k := range Kernels() {
+		if k.Extra {
+			extras = append(extras, k.Name)
+		}
+	}
 	if len(extras) < 3 {
 		t.Fatalf("extras = %v", extras)
 	}

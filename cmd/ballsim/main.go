@@ -73,8 +73,16 @@ func run() int {
 			fmt.Printf("  %s\n", a)
 		}
 		fmt.Println("workloads:")
-		for _, w := range ballerino.Workloads() {
-			fmt.Printf("  %s\n", w)
+		for _, k := range ballerino.Kernels() {
+			if !k.Extra {
+				fmt.Printf("  %s\n", k.Name)
+			}
+		}
+		fmt.Println("extra workloads:")
+		for _, k := range ballerino.Kernels() {
+			if k.Extra {
+				fmt.Printf("  %s\n", k.Name)
+			}
 		}
 		return 0
 	}
@@ -234,7 +242,12 @@ func run() int {
 
 func runCompare(ctx context.Context, width, ops int, foot int64, par int, jsonOut, topdown bool) int {
 	archs := ballerino.Architectures()
-	wls := ballerino.Workloads()
+	var wls []string
+	for _, k := range ballerino.Kernels() {
+		if !k.Extra {
+			wls = append(wls, k.Name)
+		}
+	}
 
 	// One campaign over the whole grid: each kernel's trace is generated
 	// once and shared by every architecture. Results arrive in grid order

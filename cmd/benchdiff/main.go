@@ -7,6 +7,7 @@
 //	benchdiff -ipc 0.02 -energy 0.05 BASE HEAD
 //	benchdiff -emit -o BENCH_pr.json -n 5    # run the tier-1 micro set
 //	benchdiff -json BASE HEAD                # machine-readable report
+//	benchdiff -speedup 1.5 BASE HEAD         # also require a 1.5× wall-time win
 //
 // Inputs may be "ballerino.bench/v1" trajectories (the -emit output), a
 // single `ballsim -json` run manifest, or a JSON array of manifests
@@ -19,6 +20,11 @@
 // deterministic, so IPC/energy/cycle means are exact and any flagged
 // regression is a real behavioural change.
 //
+// -speedup gates the simulator's own wall time instead of the simulated
+// machines: per gated workload (-speedup-workloads), the geometric mean
+// of per-point best-of-N base/head wall-time ratios must reach the
+// factor. CI uses it to hold hot-loop optimisations to their claims.
+//
 // Exit codes: 0 clean, 1 regression detected, 2 operational error.
 package main
 
@@ -30,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 
@@ -50,6 +57,9 @@ func run() int {
 		cycTh   = flag.Float64("cycles", 0, "max tolerated relative cycle increase (0 disables)")
 		jsonOut = flag.Bool("json", false, "print the comparison report as JSON")
 		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "runs in flight at once for -emit (1 = sequential)")
+
+		speedup   = flag.Float64("speedup", 0, "required best-of-N wall-time geomean speedup of head over base per gated workload (0 disables)")
+		speedupWl = flag.String("speedup-workloads", "branchy,pointer-chase", "comma-separated workloads the -speedup gate covers")
 	)
 	flag.Parse()
 
@@ -86,8 +96,16 @@ func run() int {
 	}
 
 	rep := bench.Compare(base, head, bench.Thresholds{IPC: *ipcTh, Energy: *enTh, Cycles: *cycTh})
+	var srep *bench.SpeedupReport
+	if *speedup > 0 {
+		srep = bench.CompareSpeedup(base, head, splitList(*speedupWl), *speedup)
+	}
 	if *jsonOut {
-		b, err := json.MarshalIndent(rep, "", "  ")
+		out := struct {
+			*bench.Report
+			Speedup *bench.SpeedupReport `json:"speedup,omitempty"`
+		}{rep, srep}
+		b, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
@@ -95,12 +113,31 @@ func run() int {
 		fmt.Println(string(b))
 	} else {
 		printReport(rep)
+		if srep != nil {
+			fmt.Print(srep)
+		}
 	}
+	code := 0
 	if rep.Regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond thresholds\n", rep.Regressions)
-		return 1
+		code = 1
 	}
-	return 0
+	if srep != nil && srep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d workload(s) below the %.2f× wall-time speedup gate\n", srep.Failures, *speedup)
+		code = 1
+	}
+	return code
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func printReport(rep *bench.Report) {

@@ -39,9 +39,14 @@ func ExampleRun_comparison() {
 	// Ballerino beats CASINO on gather-heavy code: true
 }
 
-// ExampleWorkloads lists the kernel suite.
-func ExampleWorkloads() {
-	ws := ballerino.Workloads()
+// ExampleKernels lists the kernel suite from the catalogue.
+func ExampleKernels() {
+	var ws []string
+	for _, k := range ballerino.Kernels() {
+		if !k.Extra {
+			ws = append(ws, k.Name)
+		}
+	}
 	sort.Strings(ws)
 	for _, w := range ws[:3] {
 		fmt.Println(w)

@@ -1,0 +1,363 @@
+package container
+
+import "math/bits"
+
+// Handle names a pooled QuantumQueue entry. Handles stay valid until the
+// entry is removed (PopMin, Unlink, or a Take verdict); the queue never
+// moves a live entry, so a caller can hold the handle of everything it has
+// inserted and unlink in O(chain length).
+type Handle int32
+
+// None is the null handle.
+const None Handle = -1
+
+const msb = uint64(1) << 63
+
+// maxSpan bounds the bucket count so the three summary levels always fit:
+// span/64 level-2 words, at most 64 level-1 words, one top word.
+const maxSpan = 1 << 18
+
+// entry is one pooled node: an intrusive FIFO link, the priority it is
+// filed under, and the caller's payload.
+type entry[T any] struct {
+	next Handle
+	prio int32
+	val  T
+}
+
+// QuantumQueue is a hierarchical-bitmap priority queue: span priority
+// buckets, each an intrusive FIFO chain of pooled entries, summarised by
+// three levels of occupancy bitmaps (one bit per bucket, per level-2 word,
+// per level-1 word). The minimum is found by walking the levels with
+// count-leading-zeros — bit 63-i stands for index i, so LeadingZeros64 of
+// a summary word is directly the smallest occupied index — which makes
+// Insert, PeepMin and the removal of the minimum all O(1), independent of
+// population. Ties within a bucket keep FIFO (insertion) order.
+//
+// Entries live in a free-listed pool that only grows; sized at
+// construction for the caller's worst-case population, steady-state
+// operation never allocates.
+type QuantumQueue[T any] struct {
+	span int
+
+	top uint64   // bit j = level-1 word j has a set bit
+	l1  []uint64 // bit k of word j = level-2 word j*64+k has a set bit
+	l2  []uint64 // bit t of word w = bucket w*64+t is non-empty
+
+	heads, tails []Handle
+
+	pool []entry[T]
+	free Handle
+	n    int
+}
+
+// NewQuantumQueue returns a queue over priorities [0, span). span is
+// rounded up to a power of two in [64, maxSpan]. poolCap entries are
+// reserved up front; populations that never exceed it never allocate.
+func NewQuantumQueue[T any](span, poolCap int) *QuantumQueue[T] {
+	if span < 64 {
+		span = 64
+	}
+	if span&(span-1) != 0 {
+		span = 1 << bits.Len(uint(span))
+	}
+	if span > maxSpan {
+		panic("container: QuantumQueue span too large")
+	}
+	if poolCap < 0 {
+		poolCap = 0
+	}
+	q := &QuantumQueue[T]{
+		span:  span,
+		l2:    make([]uint64, span>>6),
+		l1:    make([]uint64, (span>>6+63)>>6),
+		heads: make([]Handle, span),
+		tails: make([]Handle, span),
+		pool:  make([]entry[T], 0, poolCap),
+		free:  None,
+	}
+	for i := range q.heads {
+		q.heads[i] = None
+		q.tails[i] = None
+	}
+	return q
+}
+
+// Span returns the number of priority buckets.
+func (q *QuantumQueue[T]) Span() int { return q.span }
+
+// Len returns the number of queued entries.
+func (q *QuantumQueue[T]) Len() int { return q.n }
+
+// Empty reports whether no entries are queued.
+func (q *QuantumQueue[T]) Empty() bool { return q.n == 0 }
+
+func (q *QuantumQueue[T]) alloc() Handle {
+	if q.free != None {
+		h := q.free
+		q.free = q.pool[h].next
+		return h
+	}
+	q.pool = append(q.pool, entry[T]{})
+	return Handle(len(q.pool) - 1)
+}
+
+func (q *QuantumQueue[T]) release(h Handle) {
+	var zero T
+	e := &q.pool[h]
+	e.val = zero
+	e.next = q.free
+	q.free = h
+}
+
+// setBits marks bucket b occupied at all three levels.
+func (q *QuantumQueue[T]) setBits(b int) {
+	w := b >> 6
+	q.l2[w] |= msb >> (b & 63)
+	q.l1[w>>6] |= msb >> (w & 63)
+	q.top |= msb >> (w >> 6)
+}
+
+// clearBits marks bucket b empty, clearing summary bits whose word drained.
+func (q *QuantumQueue[T]) clearBits(b int) {
+	w := b >> 6
+	q.l2[w] &^= msb >> (b & 63)
+	if q.l2[w] == 0 {
+		lw := w >> 6
+		q.l1[lw] &^= msb >> (w & 63)
+		if q.l1[lw] == 0 {
+			q.top &^= msb >> lw
+		}
+	}
+}
+
+// minPrio returns the smallest occupied bucket. Callers check n > 0.
+func (q *QuantumQueue[T]) minPrio() int {
+	lw := bits.LeadingZeros64(q.top)
+	w := lw<<6 + bits.LeadingZeros64(q.l1[lw])
+	return w<<6 + bits.LeadingZeros64(q.l2[w])
+}
+
+// findFrom returns the smallest occupied bucket ≥ b, or -1 if none.
+func (q *QuantumQueue[T]) findFrom(b int) int {
+	if b >= q.span {
+		return -1
+	}
+	w := b >> 6
+	if m := q.l2[w] & (^uint64(0) >> (b & 63)); m != 0 {
+		return w<<6 + bits.LeadingZeros64(m)
+	}
+	w++
+	lw := w >> 6
+	var m uint64
+	if lw < len(q.l1) {
+		m = q.l1[lw] & (^uint64(0) >> (w & 63))
+	}
+	for m == 0 {
+		tm := q.top & (^uint64(0) >> (lw + 1)) // shifts ≥ 64 yield 0
+		if tm == 0 {
+			return -1
+		}
+		lw = bits.LeadingZeros64(tm)
+		m = q.l1[lw]
+	}
+	w = lw<<6 + bits.LeadingZeros64(m)
+	return w<<6 + bits.LeadingZeros64(q.l2[w])
+}
+
+// Insert files v under prio, appending to the bucket's FIFO chain, and
+// returns the entry's handle.
+func (q *QuantumQueue[T]) Insert(prio int, v T) Handle {
+	if uint(prio) >= uint(q.span) {
+		panic("container: QuantumQueue priority out of range")
+	}
+	h := q.alloc()
+	e := &q.pool[h]
+	e.prio = int32(prio)
+	e.val = v
+	e.next = None
+	if t := q.tails[prio]; t != None {
+		q.pool[t].next = h
+	} else {
+		q.heads[prio] = h
+		q.setBits(prio)
+	}
+	q.tails[prio] = h
+	q.n++
+	return h
+}
+
+// PeepMin returns the oldest entry of the smallest occupied priority
+// without removing it.
+func (q *QuantumQueue[T]) PeepMin() (v T, prio int, ok bool) {
+	if q.n == 0 {
+		return v, 0, false
+	}
+	b := q.minPrio()
+	return q.pool[q.heads[b]].val, b, true
+}
+
+// PopMin removes and returns the oldest entry of the smallest occupied
+// priority.
+func (q *QuantumQueue[T]) PopMin() (v T, prio int, ok bool) {
+	if q.n == 0 {
+		return v, 0, false
+	}
+	b := q.minPrio()
+	h := q.heads[b]
+	e := &q.pool[h]
+	v = e.val
+	q.heads[b] = e.next
+	if e.next == None {
+		q.tails[b] = None
+		q.clearBits(b)
+	}
+	q.release(h)
+	q.n--
+	return v, b, true
+}
+
+// Unlink removes the entry named by h, wherever it sits in its bucket's
+// chain. Cost is the chain length (O(1) when priorities are unique).
+func (q *QuantumQueue[T]) Unlink(h Handle) {
+	b := int(q.pool[h].prio)
+	prev := None
+	for c := q.heads[b]; c != None; c = q.pool[c].next {
+		if c != h {
+			prev = c
+			continue
+		}
+		next := q.pool[c].next
+		if prev == None {
+			q.heads[b] = next
+		} else {
+			q.pool[prev].next = next
+		}
+		if next == None {
+			q.tails[b] = prev
+			if q.heads[b] == None {
+				q.clearBits(b)
+			}
+		}
+		q.release(h)
+		q.n--
+		return
+	}
+	panic("container: Unlink of a handle not in its bucket")
+}
+
+// Scan visits entries in priority order (FIFO within a bucket). Take
+// unlinks the visited entry and invalidates its handle; Stop ends the
+// walk. visit must not insert.
+func (q *QuantumQueue[T]) Scan(visit func(v T, prio int) Verdict) {
+	if q.n == 0 {
+		return
+	}
+	for b := q.findFrom(0); b >= 0; b = q.findFrom(b + 1) {
+		prev := None
+		for c := q.heads[b]; c != None; {
+			e := &q.pool[c]
+			next := e.next
+			switch visit(e.val, b) {
+			case Take:
+				if prev == None {
+					q.heads[b] = next
+				} else {
+					q.pool[prev].next = next
+				}
+				if next == None {
+					q.tails[b] = prev
+				}
+				q.release(c)
+				q.n--
+			case Stop:
+				return
+			default:
+				prev = c
+			}
+			c = next
+		}
+		if q.heads[b] == None {
+			q.clearBits(b)
+		}
+	}
+}
+
+// SelectOldest implements Selector: a Scan that hides the priority.
+func (q *QuantumQueue[T]) SelectOldest(visit func(T) Verdict) {
+	q.Scan(func(v T, _ int) Verdict { return visit(v) })
+}
+
+// DrainUpTo pops every entry with priority < limit, in priority order
+// (FIFO within a bucket), calling fn on each.
+func (q *QuantumQueue[T]) DrainUpTo(limit int, fn func(v T, prio int)) {
+	for q.n > 0 {
+		b := q.minPrio()
+		if b >= limit {
+			return
+		}
+		for c := q.heads[b]; c != None; {
+			e := &q.pool[c]
+			next := e.next
+			v := e.val
+			q.release(c)
+			q.n--
+			fn(v, b)
+			c = next
+		}
+		q.heads[b] = None
+		q.tails[b] = None
+		q.clearBits(b)
+	}
+}
+
+// Rebase shifts every queued priority down by delta (up, for negative
+// delta), preserving FIFO order within buckets. Every shifted priority
+// must stay within [0, span) — this is the window-sliding operation for
+// priorities derived from a growing key (sequence numbers, cycle counts)
+// relative to a movable base.
+func (q *QuantumQueue[T]) Rebase(delta int) {
+	if delta == 0 || q.n == 0 {
+		return
+	}
+	if delta > 0 && q.minPrio() < delta {
+		panic("container: Rebase below zero")
+	}
+	// Unthread every chain, ascending, into one list, clearing the bitmaps
+	// as buckets drain; then re-file each entry at its shifted priority.
+	// Appending in ascending original order keeps bucket FIFO order.
+	first, last := None, None
+	for b := q.findFrom(0); b >= 0; b = q.findFrom(b) {
+		h, t := q.heads[b], q.tails[b]
+		q.heads[b] = None
+		q.tails[b] = None
+		q.clearBits(b)
+		if first == None {
+			first = h
+		} else {
+			q.pool[last].next = h
+		}
+		last = t
+	}
+	if last != None {
+		q.pool[last].next = None
+	}
+	for h := first; h != None; {
+		e := &q.pool[h]
+		next := e.next
+		b := int(e.prio) - delta
+		if uint(b) >= uint(q.span) {
+			panic("container: Rebase out of range")
+		}
+		e.prio = int32(b)
+		e.next = None
+		if t := q.tails[b]; t != None {
+			q.pool[t].next = h
+		} else {
+			q.heads[b] = h
+			q.setBits(b)
+		}
+		q.tails[b] = h
+		h = next
+	}
+}

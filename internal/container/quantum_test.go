@@ -1,0 +1,248 @@
+package container
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// Interface conformance: both containers select through the one vocabulary.
+type seqInt uint64
+
+func (s seqInt) Seq() uint64 { return uint64(s) }
+
+var (
+	_ Selector[seqInt] = (*Ring[seqInt])(nil)
+	_ Selector[seqInt] = (*QuantumQueue[seqInt])(nil)
+)
+
+// refItem mirrors one live QuantumQueue entry in the reference model. ord
+// breaks priority ties by insertion order, pinning the FIFO-within-bucket
+// contract.
+type refItem struct {
+	prio int
+	ord  int
+	val  int
+}
+
+// refHeap is the container/heap reference model.
+type refHeap []refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].ord < h[j].ord
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestQuantumDifferential drives a QuantumQueue and a container/heap
+// reference model through the same fuzzed operation sequence — inserts,
+// pop-min, peep-min, unlink of a random live handle, and window rebase —
+// and requires identical observable behaviour at every step.
+func TestQuantumDifferential(t *testing.T) {
+	for _, span := range []int{64, 256, 1 << 13} {
+		rng := rand.New(rand.NewSource(int64(0x5eed + span)))
+		q := NewQuantumQueue[int](span, 32)
+		var ref refHeap
+		live := map[Handle]refItem{}
+		ord := 0
+		base := 0 // accumulated rebase, applied to reference priorities
+
+		for step := 0; step < 20000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // insert
+				p := rng.Intn(span)
+				v := rng.Int()
+				h := q.Insert(p, v)
+				it := refItem{prio: p, ord: ord, val: v}
+				ord++
+				heap.Push(&ref, it)
+				if _, dup := live[h]; dup {
+					t.Fatalf("span %d step %d: handle %d already live", span, step, h)
+				}
+				live[h] = it
+			case op < 7: // pop-min
+				v, p, ok := q.PopMin()
+				if ok != (ref.Len() > 0) {
+					t.Fatalf("span %d step %d: PopMin ok=%v, reference has %d", span, step, ok, ref.Len())
+				}
+				if !ok {
+					continue
+				}
+				want := heap.Pop(&ref).(refItem)
+				if v != want.val || p != want.prio {
+					t.Fatalf("span %d step %d: PopMin = (%d, %d), want (%d, %d)", span, step, v, p, want.val, want.prio)
+				}
+				for h, it := range live {
+					if it.ord == want.ord {
+						delete(live, h)
+						break
+					}
+				}
+			case op < 8: // peep-min
+				v, p, ok := q.PeepMin()
+				if ok != (ref.Len() > 0) {
+					t.Fatalf("span %d step %d: PeepMin ok=%v, reference has %d", span, step, ok, ref.Len())
+				}
+				if ok && (v != ref[0].val || p != ref[0].prio) {
+					t.Fatalf("span %d step %d: PeepMin = (%d, %d), want (%d, %d)", span, step, v, p, ref[0].val, ref[0].prio)
+				}
+			case op < 9: // unlink a random live handle
+				if len(live) == 0 {
+					continue
+				}
+				var h Handle
+				for h = range live {
+					break
+				}
+				q.Unlink(h)
+				want := live[h]
+				delete(live, h)
+				for i := range ref {
+					if ref[i].ord == want.ord {
+						heap.Remove(&ref, i)
+						break
+					}
+				}
+			default: // rebase the window down by the current minimum
+				if q.Empty() {
+					continue
+				}
+				_, min, _ := q.PeepMin()
+				if min == 0 {
+					continue
+				}
+				q.Rebase(min)
+				base += min
+				for i := range ref {
+					ref[i].prio -= min
+				}
+				for h, it := range live {
+					it.prio -= min
+					live[h] = it
+				}
+			}
+			if q.Len() != ref.Len() {
+				t.Fatalf("span %d step %d: Len = %d, reference %d", span, step, q.Len(), ref.Len())
+			}
+		}
+		_ = base
+	}
+}
+
+// TestQuantumScanOrder pins Scan's visit order — ascending priority, FIFO
+// within a bucket — and the Take/Stop verdict semantics.
+func TestQuantumScanOrder(t *testing.T) {
+	q := NewQuantumQueue[int](64, 8)
+	q.Insert(9, 90)
+	q.Insert(3, 30)
+	q.Insert(9, 91)
+	q.Insert(0, 1)
+
+	var got []int
+	q.Scan(func(v, prio int) Verdict {
+		got = a(got, v)
+		if v == 30 {
+			return Take
+		}
+		return Keep
+	})
+	want := []int{1, 30, 90, 91}
+	if !eq(got, want) {
+		t.Fatalf("Scan order = %v, want %v", got, want)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len after Take = %d, want 3", q.Len())
+	}
+
+	got = nil
+	q.Scan(func(v, prio int) Verdict {
+		got = a(got, v)
+		if v == 90 {
+			return Stop
+		}
+		return Keep
+	})
+	if !eq(got, []int{1, 90}) {
+		t.Fatalf("Scan with Stop visited %v, want [1 90]", got)
+	}
+}
+
+// TestQuantumDrainUpTo pins the drain bound (exclusive) and order.
+func TestQuantumDrainUpTo(t *testing.T) {
+	q := NewQuantumQueue[int](128, 8)
+	for _, p := range []int{100, 5, 64, 5, 63} {
+		q.Insert(p, p*10)
+	}
+	var got []int
+	q.DrainUpTo(64, func(v, prio int) { got = a(got, v) })
+	if !eq(got, []int{50, 50, 630}) {
+		t.Fatalf("DrainUpTo(64) = %v, want [50 50 630]", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len after drain = %d, want 2", q.Len())
+	}
+}
+
+// TestQuantumZeroAllocChurn asserts steady-state queue churn — insert,
+// select, pop, rebase over a sliding window — performs zero allocations
+// once the pool has grown to the working population.
+func TestQuantumZeroAllocChurn(t *testing.T) {
+	q := NewQuantumQueue[int](1<<13, 64)
+	prio := 0
+	insert := func(n int) {
+		for i := 0; i < n; i++ {
+			q.Insert(prio%(1<<12), prio)
+			prio += 3
+		}
+	}
+	insert(48) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() {
+		insert(16)
+		granted := 0
+		q.Scan(func(v, p int) Verdict {
+			if granted >= 8 {
+				return Stop
+			}
+			if v%2 == 0 {
+				granted++
+				return Take
+			}
+			return Keep
+		})
+		for q.Len() > 48 {
+			q.PopMin()
+		}
+		if _, min, ok := q.PeepMin(); ok && min > 0 {
+			q.Rebase(min)
+		}
+		prio = 0
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func a(s []int, v int) []int { return append(s, v) }
+
+func eq(x, y []int) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}

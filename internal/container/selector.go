@@ -1,0 +1,37 @@
+// Package container holds the pooled, allocation-free data structures the
+// cycle engine's hot paths are built on: a fixed-capacity FIFO ring
+// (Ring) and a hierarchical-bitmap priority queue (QuantumQueue) whose
+// minimum is found by walking three summary levels with CLZ — the software
+// analogue of the priority-select circuits the paper's issue queues are
+// made of.
+//
+// Both containers expose selection through one audited vocabulary: a visit
+// callback examines entries oldest-first and answers with a Verdict. This
+// is the software shape of a select circuit — entries raise requests, the
+// grant logic picks winners in priority order — and every scheduler
+// (InO head-sequential issue, OoO oldest-first select, the CASINO cascade
+// windows, Ballerino's S-IQ window and P-IQ heads) picks through it.
+package container
+
+// Verdict is a visit callback's decision about one examined entry.
+type Verdict uint8
+
+const (
+	// Keep leaves the entry where it is and continues the walk (for
+	// strictly in-order disciplines such as Ring.SelectOldest, a kept
+	// head blocks everything younger, ending the walk).
+	Keep Verdict = iota
+	// Take removes the entry from the container — a grant, or a pass to
+	// another queue — and continues the walk.
+	Take
+	// Stop leaves the entry where it is and ends the walk.
+	Stop
+)
+
+// Selector is the uniform oldest-first selection interface both containers
+// implement: entries are offered to visit in priority order (age order for
+// a FIFO ring, ascending priority for a bitmap queue) and leave or stay
+// according to the verdict.
+type Selector[T any] interface {
+	SelectOldest(visit func(T) Verdict)
+}

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/container"
 	"repro/internal/isa"
 	"repro/internal/mdp"
 	"repro/internal/rename"
@@ -194,19 +195,17 @@ func (b *Ballerino) Issue(cycle uint64, ctx *sched.IssueCtx) {
 	b.examineSIQ(cycle, ctx, portUsed)
 }
 
-// issuePIQHeads examines each P-IQ's active dependence head.
+// issuePIQHeads examines each P-IQ's active dependence head through the
+// container select vocabulary: Take pops the head (a grant), Keep stalls
+// it in place.
 func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *sched.PortMask) {
 	for i := range b.piqs {
 		q := &b.piqs[i]
-		var heads [2]int
-		nh := q.activeHeadsInto(b.cfg.Options.IdealSharing, &heads)
-		if nh == 0 {
+		if q.len() == 0 {
 			b.headEmpty++
 			continue
 		}
-		issuedAny := false
-		for _, part := range heads[:nh] {
-			u := q.headOf(part)
+		issuedAny := q.selectHeads(b.cfg.Options.IdealSharing, func(u *sched.UOp) container.Verdict {
 			b.events.QueueReads++
 			b.events.PSCBReads += 2
 			if portUsed.Used(u.Port) {
@@ -214,7 +213,7 @@ func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *s
 					ctx.PortBlocked(u)
 				}
 				b.headStallDep++
-				continue
+				return container.Keep
 			}
 			if !ctx.Ready(u) {
 				if u.MDPWait != mdp.NoStore {
@@ -222,16 +221,15 @@ func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *s
 				} else {
 					b.headStallDep++
 				}
-				continue
+				return container.Keep
 			}
 			ctx.Grant(u)
 			b.events.PayloadReads++
 			portUsed.Set(u.Port)
-			q.popHead(part)
 			b.issuedPIQ++
 			b.headIssue++
-			issuedAny = true
-		}
+			return container.Take
+		})
 		wasSharing := q.sharing
 		q.endCyclePolicy(issuedAny, b.cfg.Options.AlwaysSwitchHead)
 		if b.probe != nil && wasSharing && !q.sharing {
@@ -246,13 +244,7 @@ func (b *Ballerino) issuePIQHeads(cycle uint64, ctx *sched.IssueCtx, portUsed *s
 // case 3); non-ready μops are steered to the P-IQs along their M/R-
 // dependences. A steering failure stalls the window at that μop.
 func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sched.PortMask) {
-	examine := b.cfg.SIQWindow
-	if b.siq.Len() < examine {
-		examine = b.siq.Len()
-	}
-	removed := 0
-	for n := 0; n < examine; n++ {
-		u := b.siq.At(n)
+	b.siq.SelectWindow(b.cfg.SIQWindow, func(u *sched.UOp) container.Verdict {
 		b.events.QueueReads++
 		b.events.PSCBReads += 2
 
@@ -262,8 +254,7 @@ func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sche
 			b.events.PayloadReads++
 			portUsed.Set(u.Port)
 			b.issuedSIQ++
-			removed++
-			continue
+			return container.Take
 		}
 		if ready && ctx.PortBlocked != nil {
 			ctx.PortBlocked(u)
@@ -274,15 +265,11 @@ func (b *Ballerino) examineSIQ(cycle uint64, ctx *sched.IssueCtx, portUsed *sche
 			if b.probe != nil {
 				b.probe(sched.ProbeSIQPromote, cycle, u.Seq(), 0)
 			}
-			removed++
-			continue
+			return container.Take
 		}
 		b.steerStalls++
-		break
-	}
-	if removed > 0 {
-		b.siq.DropFront(removed)
-	}
+		return container.Stop
+	})
 }
 
 // steer places u into a P-IQ following M-dependences, then R-dependences,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/container"
 	"repro/internal/sched"
 )
 
@@ -120,6 +121,24 @@ func (q *piq) activeHeadsInto(ideal bool, dst *[2]int) int {
 	}
 	dst[0] = q.active
 	return 1
+}
+
+// selectHeads offers this cycle's examined partition heads to visit under
+// the container select discipline — Take pops the head (it issued), Keep
+// leaves it stalled — and reports whether any head issued. In sharing
+// mode, selecting the examined head may flip the active partition (an
+// activeHeadsInto side effect) exactly as direct head examination did.
+func (q *piq) selectHeads(ideal bool, visit func(*sched.UOp) container.Verdict) bool {
+	var heads [2]int
+	nh := q.activeHeadsInto(ideal, &heads)
+	issued := false
+	for _, part := range heads[:nh] {
+		if visit(q.headOf(part)) == container.Take {
+			q.popHead(part)
+			issued = true
+		}
+	}
+	return issued
 }
 
 // activeHeads is activeHeadsInto as a slice (test convenience).

@@ -37,7 +37,11 @@ func (o Options) withDefaults() Options {
 		o.Ops = 150_000
 	}
 	if len(o.Workloads) == 0 {
-		o.Workloads = ballerino.Workloads()
+		for _, k := range ballerino.Kernels() {
+			if !k.Extra {
+				o.Workloads = append(o.Workloads, k.Name)
+			}
+		}
 	}
 	return o
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/check"
+	"repro/internal/container"
 	"repro/internal/isa"
 	"repro/internal/lsq"
 	"repro/internal/mdp"
@@ -213,9 +214,14 @@ func (r *decodeRing) clear() {
 
 // wheelSpan is the completion wheel's horizon in cycles (a power of two).
 // Nearly every functional-unit and cache latency lands within it; events
-// further out (DRAM queueing tails) wait in an overflow list that is
-// re-homed into the wheel once per wheelSpan cycles.
+// further out (DRAM queueing tails) wait in a bitmap-bucketed far queue
+// drained into the wheel once per wheelSpan cycles.
 const wheelSpan = 1024
+
+// wheelFarSpan is the far queue's bucket horizon: events up to this many
+// cycles past the sliding base land in real priority buckets. Beyond it
+// (pathological DRAM queueing) events wait in a counted overflow chain.
+const wheelFarSpan = 1 << 13
 
 // completionWheel is a timing wheel replacing the cycle→μops completion
 // map: bucket (c & mask) holds exactly the events due at cycle c as long
@@ -223,52 +229,103 @@ const wheelSpan = 1024
 // intrusive linked lists threaded through UOp.WheelNext — a μop has at
 // most one pending completion event and is never recycled while linked —
 // so event scheduling never allocates, not even to grow a bucket.
+//
+// Far-horizon events are filed in a hierarchical-bitmap priority queue
+// keyed by done − farBase, so the per-rotation drain peels exactly the
+// events entering the horizon in O(1) each instead of re-walking a chain
+// of every far event. Each near bucket maps to a single due cycle per
+// horizon and the far queue is FIFO within a bucket, so event processing
+// order is identical to the chain-based wheel it replaces.
 type completionWheel struct {
 	heads, tails []*sched.UOp
-	// farHead/farTail chain events at or beyond the horizon.
-	farHead, farTail *sched.UOp
+
+	far     *container.QuantumQueue[*sched.UOp]
+	farBase uint64
+
+	// Overflow chain for events beyond even the far horizon. ovCount
+	// gates the rotation walk: a rotation with an empty chain never
+	// touches it (the chain-era code re-scanned unconditionally).
+	ovHead, ovTail *sched.UOp
+	ovCount        int
 }
 
-func (w *completionWheel) init() {
+// init sizes the wheel. poolCap bounds the far queue's live population —
+// in-flight issued μops, so the caller passes its ROB size.
+func (w *completionWheel) init(poolCap int) {
 	w.heads = make([]*sched.UOp, wheelSpan)
 	w.tails = make([]*sched.UOp, wheelSpan)
+	w.far = container.NewQuantumQueue[*sched.UOp](wheelFarSpan, poolCap)
+}
+
+// pushNear files u in its due-cycle bucket. Insertion order is preserved
+// per bucket: event processing order matches the slice-based engine.
+func (w *completionWheel) pushNear(u *sched.UOp, done uint64) {
+	i := done & (wheelSpan - 1)
+	if w.tails[i] == nil {
+		w.heads[i] = u
+	} else {
+		w.tails[i].WheelNext = u
+	}
+	w.tails[i] = u
 }
 
 // push schedules u's completion event at cycle done (done > now, because
-// every functional-unit latency is ≥ 1). Insertion order is preserved per
-// bucket: event processing order matches the slice-based engine exactly.
+// every functional-unit latency is ≥ 1).
 func (w *completionWheel) push(u *sched.UOp, done, now uint64) {
 	u.WheelNext = nil
 	if done-now < wheelSpan {
-		i := done & (wheelSpan - 1)
-		if w.tails[i] == nil {
-			w.heads[i] = u
-		} else {
-			w.tails[i].WheelNext = u
-		}
-		w.tails[i] = u
+		w.pushNear(u, done)
 		return
 	}
-	if w.farTail == nil {
-		w.farHead = u
-	} else {
-		w.farTail.WheelNext = u
+	rel := done - w.farBase
+	if rel >= wheelFarSpan {
+		// Slide the window to now. Every queued event is undrained, so
+		// its done is ≥ now and survives the shift.
+		if w.far.Empty() {
+			w.farBase = now
+		} else if delta := now - w.farBase; delta > 0 {
+			w.far.Rebase(int(delta))
+			w.farBase = now
+		}
+		rel = done - w.farBase
+		if rel >= wheelFarSpan {
+			w.ovCount++
+			if w.ovTail == nil {
+				w.ovHead = u
+			} else {
+				w.ovTail.WheelNext = u
+			}
+			w.ovTail = u
+			return
+		}
 	}
-	w.farTail = u
+	w.far.Insert(int(rel), u)
 }
 
-// rehome moves overflow events that now fall within the horizon into their
-// buckets. Called at every wheelSpan-aligned cycle, which is guaranteed to
-// happen before any overflow event becomes due: an event enters far at
-// least wheelSpan cycles early, and re-homing cycles are at most wheelSpan
-// apart.
-func (w *completionWheel) rehome(now uint64) {
-	u := w.farHead
-	w.farHead, w.farTail = nil, nil
-	for u != nil {
-		next := u.WheelNext
-		w.push(u, u.CompleteCycle, now)
-		u = next
+// rotate runs at every wheelSpan-aligned cycle, before the cycle's bucket
+// is processed: far events entering the horizon drain — in ascending due
+// order, FIFO within a due cycle — into their buckets, and any overflow
+// events are re-offered to push. Rotations are at most wheelSpan apart
+// and far events enter at least wheelSpan early, so every event reaches
+// its bucket before it is due.
+func (w *completionWheel) rotate(now uint64) {
+	if !w.far.Empty() {
+		w.far.DrainUpTo(int(now+wheelSpan-w.farBase), func(u *sched.UOp, _ int) {
+			w.pushNear(u, u.CompleteCycle)
+		})
+	}
+	if w.far.Empty() {
+		w.farBase = now // free slide: nothing queued to shift
+	}
+	if w.ovCount > 0 {
+		u := w.ovHead
+		w.ovHead, w.ovTail = nil, nil
+		w.ovCount = 0
+		for u != nil {
+			next := u.WheelNext
+			w.push(u, u.CompleteCycle, now)
+			u = next
+		}
 	}
 }
 
@@ -418,7 +475,7 @@ func New(cfg Config, trace []isa.DynInst, mk SchedulerFactory) (*Pipeline, error
 	}
 	p.rob.init(cfg.ROBSize)
 	p.decodeQ.init(cfg.DecodeQueue)
-	p.wheel.init()
+	p.wheel.init(cfg.ROBSize)
 	p.issueCtx = sched.IssueCtx{Ready: p.ready, Grant: p.grant}
 	p.sched = mk(rn, m)
 	if p.sched == nil {
@@ -810,8 +867,8 @@ func (p *Pipeline) recycle(u *sched.UOp) {
 // --- Execute / writeback events ---
 
 func (p *Pipeline) processCompletions() {
-	if p.wheel.farHead != nil && p.cycle&(wheelSpan-1) == 0 {
-		p.wheel.rehome(p.cycle)
+	if p.cycle&(wheelSpan-1) == 0 && (!p.wheel.far.Empty() || p.wheel.ovCount > 0) {
+		p.wheel.rotate(p.cycle)
 	}
 	slot := p.cycle & (wheelSpan - 1)
 	u := p.wheel.heads[slot]

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"repro/internal/container"
 	"repro/internal/rename"
 )
 
@@ -21,10 +22,6 @@ type CASINO struct {
 	ports  PortMask
 	issued uint64
 	passed uint64
-
-	// removedMask is per-cycle scratch: which examined window entries left
-	// their queue (issued or passed ahead) this cycle.
-	removedMask []bool
 }
 
 // NewCASINO builds the cascade. sizes lists every queue's capacity in
@@ -38,7 +35,6 @@ func NewCASINO(sizes []int, window, pass, width int) *CASINO {
 	for i, n := range sizes {
 		s.queues[i].Init(n)
 	}
-	s.removedMask = make([]bool, window)
 	return s
 }
 
@@ -84,28 +80,38 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 	// Final in-order IQ: strict program-order issue from the head.
 	last := &s.queues[len(s.queues)-1]
 	s.events.SelectInputs += uint64(s.width * s.window * len(s.queues))
-	for n := 0; n < s.window && !last.Empty() && granted < s.width; n++ {
-		u := last.Head()
+	examined := 0
+	last.SelectOldest(func(u *UOp) container.Verdict {
+		if examined >= s.window || granted >= s.width {
+			return container.Stop
+		}
+		examined++
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
 		if portUsed.Used(u.Port) {
 			if ctx.PortBlocked != nil {
 				ctx.PortBlocked(u)
 			}
-			break // in-order: the head blocks everything younger
+			return container.Stop // in-order: the head blocks everything younger
 		}
 		if !ctx.Ready(u) {
-			break // in-order: the head blocks everything younger
+			return container.Stop // in-order: the head blocks everything younger
 		}
 		ctx.Grant(u)
 		s.events.PayloadReads++
 		portUsed.Set(u.Port)
-		last.PopFront()
 		s.issued++
 		granted++
-	}
+		return container.Take
+	})
 
-	// S-IQs, oldest (deepest) first: speculative issue + pass-ahead.
+	// S-IQs, oldest (deepest) first: one windowed walk per queue performs
+	// both the speculative issue and the pass-ahead — a μop that cannot
+	// issue (width exhausted, port taken, or not ready) instead consumes
+	// pass bandwidth toward the next queue if any remains. The next queue
+	// was already processed this cycle (back-to-front order), so its free
+	// space is stable across the walk and grants land in age order exactly
+	// as the separate issue-then-pass phases did.
 	for qi := len(s.queues) - 2; qi >= 0; qi-- {
 		q := &s.queues[qi]
 		next := &s.queues[qi+1]
@@ -113,51 +119,38 @@ func (s *CASINO) Issue(cycle uint64, ctx *IssueCtx) {
 		if q.Len() < examine {
 			examine = q.Len()
 		}
-		removed := s.removedMask[:examine]
-		for n := range removed {
-			removed[n] = false
-		}
-		for n := 0; n < examine; n++ {
-			u := q.At(n)
+		passedHere := 0
+		q.SelectWindow(examine, func(u *UOp) container.Verdict {
 			s.events.QueueReads++
 			s.events.PSCBReads += 2
+			issue := false
 			if granted >= s.width {
-				continue
-			}
-			if portUsed.Used(u.Port) {
+				// all issue ports consumed; fall through to pass
+			} else if portUsed.Used(u.Port) {
 				if ctx.PortBlocked != nil {
 					ctx.PortBlocked(u)
 				}
-				continue
+			} else if ctx.Ready(u) {
+				issue = true
 			}
-			if !ctx.Ready(u) {
-				continue
-			}
-			ctx.Grant(u)
-			s.events.PayloadReads++
-			portUsed.Set(u.Port)
-			removed[n] = true
-			s.issued++
-			granted++
-		}
-		// Pass the leading non-issued examined μops to the next queue,
-		// bounded by its write ports and capacity, then compact the window
-		// in place (issued and passed μops leave; survivors stay in order).
-		passedHere := 0
-		for n := 0; n < examine; n++ {
-			if removed[n] {
-				continue
+			if issue {
+				ctx.Grant(u)
+				s.events.PayloadReads++
+				portUsed.Set(u.Port)
+				s.issued++
+				granted++
+				return container.Take
 			}
 			if passedHere < s.pass && !next.Full() {
-				next.Push(q.At(n))
+				next.Push(u)
 				s.events.QueueReads++
 				s.events.QueueWrites++ // the copy the paper charges CASINO for
 				s.passed++
 				passedHere++
-				removed[n] = true
+				return container.Take
 			}
-		}
-		q.RemoveMarked(examine, removed)
+			return container.Keep
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"repro/internal/container"
 	"repro/internal/rename"
 )
 
@@ -49,28 +50,30 @@ func (s *InO) Issue(cycle uint64, ctx *IssueCtx) {
 	s.ports.Reset()
 	portUsed := &s.ports
 	granted := 0
-	for granted < s.width && !s.entries.Empty() {
-		u := s.entries.Head()
+	s.entries.SelectOldest(func(u *UOp) container.Verdict {
+		if granted >= s.width {
+			return container.Stop
+		}
 		s.events.QueueReads++
 		s.events.PSCBReads += 2
 		if !ctx.Ready(u) {
 			s.stalls++
-			return
+			return container.Stop
 		}
 		if portUsed.Used(u.Port) {
 			if ctx.PortBlocked != nil {
 				ctx.PortBlocked(u)
 			}
 			s.stalls++
-			return
+			return container.Stop
 		}
 		ctx.Grant(u)
 		s.events.PayloadReads++
 		portUsed.Set(u.Port)
-		s.entries.PopFront()
 		s.issued++
 		granted++
-	}
+		return container.Take
+	})
 }
 
 // Complete implements Scheduler. The scoreboard core re-reads readiness at

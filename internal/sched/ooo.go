@@ -3,8 +3,17 @@ package sched
 import (
 	"math/bits"
 
+	"repro/internal/container"
 	"repro/internal/rename"
 )
+
+// oooSeqSpan is the age-index window of the oldest-first select structure:
+// the spread between the oldest and youngest buffered μop's sequence
+// numbers must fit in it. In-flight μops occupy a contiguous ROB range, so
+// the spread is bounded by the ROB size — 8K covers every realistic
+// configuration with room to spare, and the base slides forward as the
+// window drains.
+const oooSeqSpan = 1 << 13
 
 // OoO is the baseline unified out-of-order issue queue of §II-A / Figure 2:
 // CAM-based wakeup over a non-compacting random queue, per-port prefix-sum
@@ -20,12 +29,19 @@ type OoO struct {
 	// entries in position order without scanning the nil slots.
 	occ []uint64
 
+	// seqq indexes occupied slots by age for the oldest-first variant: a
+	// hierarchical-bitmap priority queue keyed by seq − seqBase, walked in
+	// ascending order at select — the software form of an age-ordered
+	// select circuit, replacing the per-cycle insertion sort. handles[i]
+	// names slot i's queue entry so Flush can unlink in place. seqBase
+	// slides forward (Rebase) when a dispatched seq outruns the span.
+	seqq    *container.QuantumQueue[int32]
+	handles []container.Handle
+	seqBase uint64
+
 	events EnergyEvents
 	issued uint64
 	ports  PortMask
-
-	// scratch for Issue.
-	order []int
 }
 
 // NewOoO returns a unified out-of-order IQ with the given entry count and
@@ -39,7 +55,13 @@ func NewOoO(capacity, width int, oldestFirst bool) *OoO {
 		occ:         make([]uint64, (capacity+63)/64),
 		width:       width,
 		oldestFirst: oldestFirst,
-		order:       make([]int, 0, capacity),
+	}
+	if oldestFirst {
+		s.seqq = container.NewQuantumQueue[int32](oooSeqSpan, capacity)
+		s.handles = make([]container.Handle, capacity)
+		for i := range s.handles {
+			s.handles[i] = container.None
+		}
 	}
 	for i := capacity - 1; i >= 0; i-- {
 		s.free = append(s.free, i)
@@ -70,8 +92,35 @@ func (s *OoO) Dispatch(u *UOp, _ uint64) bool {
 	s.free = s.free[:len(s.free)-1]
 	s.slots[idx] = u
 	s.occ[idx>>6] |= 1 << (uint(idx) & 63)
+	if s.oldestFirst {
+		s.indexByAge(u, idx)
+	}
 	s.events.QueueWrites++
 	return true
+}
+
+// indexByAge files slot idx in the age index, sliding the base when the
+// new seq falls outside the current window. In the pipeline dispatch seqs
+// never run backwards relative to buffered entries (a flush's refetched
+// μops carry seqs above every survivor), so only the forward slide is hot;
+// the backward slide keeps the scheduler correct for arbitrary callers.
+func (s *OoO) indexByAge(u *UOp, idx int) {
+	seq := u.Seq()
+	if s.seqq.Empty() {
+		s.seqBase = seq
+	} else if seq < s.seqBase {
+		s.seqq.Rebase(-int(s.seqBase - seq))
+		s.seqBase = seq
+	} else if seq-s.seqBase >= oooSeqSpan {
+		_, min, _ := s.seqq.PeepMin()
+		s.seqq.Rebase(min)
+		s.seqBase += uint64(min)
+	}
+	rel := seq - s.seqBase
+	if rel >= oooSeqSpan {
+		panic("sched: OoO in-flight seq window exceeds the age-index span")
+	}
+	s.handles[idx] = s.seqq.Insert(int(rel), int32(idx))
 }
 
 // Issue implements Scheduler: per issue port, the prefix-sum circuit grants
@@ -85,54 +134,68 @@ func (s *OoO) Issue(cycle uint64, ctx *IssueCtx) {
 	// the queue is active.
 	s.events.SelectInputs += uint64(s.width * len(s.slots))
 
-	s.order = s.order[:0]
-	for w, word := range s.occ {
-		for word != 0 {
-			s.order = append(s.order, w<<6+bits.TrailingZeros64(word))
-			word &= word - 1
-		}
-	}
-	if s.oldestFirst {
-		// Insertion sort by age: slots are recycled LIFO so the position
-		// order is already mostly sorted, and — seqs being unique — the
-		// result is identical to the reflect-based sort it replaces.
-		for i := 1; i < len(s.order); i++ {
-			idx := s.order[i]
-			seq := s.slots[idx].Seq()
-			j := i - 1
-			for j >= 0 && s.slots[s.order[j]].Seq() > seq {
-				s.order[j+1] = s.order[j]
-				j--
-			}
-			s.order[j+1] = idx
-		}
-	}
-
 	s.ports.Reset()
 	portUsed := &s.ports
 	granted := 0
-	for _, idx := range s.order {
-		if granted >= s.width {
-			break
-		}
-		u := s.slots[idx]
-		if portUsed.Used(u.Port) {
-			if ctx.PortBlocked != nil {
-				ctx.PortBlocked(u)
+
+	if s.oldestFirst {
+		// Age order: one CLZ walk over the seq-indexed bitmap, oldest
+		// first, unlinking granted entries in place.
+		s.seqq.Scan(func(slot int32, _ int) container.Verdict {
+			if granted >= s.width {
+				return container.Stop
 			}
-			continue
+			u := s.slots[slot]
+			if portUsed.Used(u.Port) {
+				if ctx.PortBlocked != nil {
+					ctx.PortBlocked(u)
+				}
+				return container.Keep
+			}
+			if !ctx.Ready(u) {
+				return container.Keep
+			}
+			ctx.Grant(u)
+			s.events.PayloadReads++
+			portUsed.Set(u.Port)
+			s.slots[slot] = nil
+			s.occ[slot>>6] &^= 1 << (uint(slot) & 63)
+			s.handles[slot] = container.None
+			s.free = append(s.free, int(slot))
+			s.issued++
+			granted++
+			return container.Take
+		})
+		return
+	}
+
+	// Position order: enumerate the occupancy bitmap directly.
+	for w, word := range s.occ {
+		for word != 0 {
+			if granted >= s.width {
+				return
+			}
+			idx := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			u := s.slots[idx]
+			if portUsed.Used(u.Port) {
+				if ctx.PortBlocked != nil {
+					ctx.PortBlocked(u)
+				}
+				continue
+			}
+			if !ctx.Ready(u) {
+				continue
+			}
+			ctx.Grant(u)
+			s.events.PayloadReads++
+			portUsed.Set(u.Port)
+			s.slots[idx] = nil
+			s.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+			s.free = append(s.free, idx)
+			s.issued++
+			granted++
 		}
-		if !ctx.Ready(u) {
-			continue
-		}
-		ctx.Grant(u)
-		s.events.PayloadReads++
-		portUsed.Set(u.Port)
-		s.slots[idx] = nil
-		s.occ[idx>>6] &^= 1 << (uint(idx) & 63)
-		s.free = append(s.free, idx)
-		s.issued++
-		granted++
 	}
 }
 
@@ -152,6 +215,10 @@ func (s *OoO) Flush(seq uint64) {
 		if u != nil && u.Seq() >= seq {
 			s.slots[i] = nil
 			s.occ[i>>6] &^= 1 << (uint(i) & 63)
+			if s.oldestFirst {
+				s.seqq.Unlink(s.handles[i])
+				s.handles[i] = container.None
+			}
 			s.free = append(s.free, i)
 		}
 	}

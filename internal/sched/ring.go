@@ -1,119 +1,10 @@
 package sched
 
-// Ring is a fixed-capacity FIFO of μops backed by a circular buffer. It is
-// the storage behind every in-order queue on the hot path (the InO issue
-// queue, CES P-IQs, the CASINO cascade, Ballerino's S-IQ): Push/PopFront
-// are O(1) with no allocation and no slice creep, and FlushFrom truncates
-// the young tail in place exactly like the slice-based queues it replaces.
-// Vacated slots are nilled so recycled μop records are never reachable
-// through a stale queue slot.
-type Ring struct {
-	buf  []*UOp
-	head int
-	n    int
-}
+import "repro/internal/container"
 
-// Init sizes the ring. Pushing beyond capacity is a caller bug (queues
-// check Full before Push, as the slice-based code checked cap).
-func (r *Ring) Init(capacity int) {
-	r.buf = make([]*UOp, capacity)
-	r.head, r.n = 0, 0
-}
-
-// Len returns the number of buffered μops.
-func (r *Ring) Len() int { return r.n }
-
-// Cap returns the ring capacity.
-func (r *Ring) Cap() int { return len(r.buf) }
-
-// Empty reports whether the ring holds no μops.
-func (r *Ring) Empty() bool { return r.n == 0 }
-
-// Full reports whether the ring is at capacity.
-func (r *Ring) Full() bool { return r.n >= len(r.buf) }
-
-// slot maps a logical index (0 = head) to a buffer position. i must be
-// within [0, cap], so one conditional replaces the modulo.
-func (r *Ring) slot(i int) int {
-	if s := r.head + i; s < len(r.buf) {
-		return s
-	} else {
-		return s - len(r.buf)
-	}
-}
-
-// At returns the i-th μop from the head.
-func (r *Ring) At(i int) *UOp { return r.buf[r.slot(i)] }
-
-// Head returns the oldest μop.
-func (r *Ring) Head() *UOp { return r.buf[r.head] }
-
-// Push appends u at the tail.
-func (r *Ring) Push(u *UOp) {
-	if r.Full() {
-		panic("sched: push to full ring")
-	}
-	r.buf[r.slot(r.n)] = u
-	r.n++
-}
-
-// PopFront removes and returns the oldest μop.
-func (r *Ring) PopFront() *UOp {
-	u := r.buf[r.head]
-	r.buf[r.head] = nil
-	r.head++
-	if r.head == len(r.buf) {
-		r.head = 0
-	}
-	r.n--
-	return u
-}
-
-// DropFront removes the k oldest μops.
-func (r *Ring) DropFront(k int) {
-	for i := 0; i < k; i++ {
-		r.buf[r.head] = nil
-		r.head++
-		if r.head == len(r.buf) {
-			r.head = 0
-		}
-	}
-	r.n -= k
-}
-
-// FlushFrom drops every μop with seq ≥ bound. Entries are in program order
-// within a queue, so this truncates a suffix.
-func (r *Ring) FlushFrom(bound uint64) {
-	for i := 0; i < r.n; i++ {
-		if r.At(i).Seq() >= bound {
-			for j := i; j < r.n; j++ {
-				r.buf[r.slot(j)] = nil
-			}
-			r.n = i
-			return
-		}
-	}
-}
-
-// RemoveMarked removes the marked entries among the first prefix μops,
-// preserving the relative order of the survivors and of everything beyond
-// the prefix. The survivors end up adjacent to the unexamined region and
-// the head advances over the vacated slots — an in-place version of the
-// "append(keep, rest...)" compaction the slice-based CASINO queues did.
-func (r *Ring) RemoveMarked(prefix int, marked []bool) {
-	w := prefix - 1
-	for i := prefix - 1; i >= 0; i-- {
-		if !marked[i] {
-			if w != i {
-				r.buf[r.slot(w)] = r.buf[r.slot(i)]
-			}
-			w--
-		}
-	}
-	removed := w + 1
-	for i := 0; i < removed; i++ {
-		r.buf[r.slot(i)] = nil
-	}
-	r.head = r.slot(removed)
-	r.n -= removed
-}
+// Ring is the fixed-capacity μop FIFO behind every in-order queue on the
+// hot path (the InO issue queue, CES P-IQs, the CASINO cascade,
+// Ballerino's S-IQ). The implementation lives in internal/container as a
+// generic ring beside the bitmap priority queue; this alias instantiates
+// it for in-flight μops so scheduler code keeps its familiar name.
+type Ring = container.Ring[*UOp]

@@ -218,7 +218,11 @@ func (c Config) resolve() (resolved, error) {
 	if rc.Width != 2 && rc.Width != 4 && rc.Width != 8 && rc.Width != 10 {
 		return rc, fail("unsupported issue width %d (valid: 2, 4, 8, 10)", rc.Width)
 	}
-	if rc.Custom == nil && !kernelSet()[rc.Workload] {
+	// A pre-generated trace supplies its own program, so its workload name
+	// need not be in the catalogue — imported trace files run under the
+	// name recorded in their header, held to account by the trace-key
+	// equality check below.
+	if rc.Custom == nil && rc.Trace == nil && !kernelSet()[rc.Workload] {
 		return rc, fail("unknown workload %q (valid: %v, extras: %v)", rc.Workload, kernelNames(false), kernelNames(true))
 	}
 	if rc.MaxOps < 0 {

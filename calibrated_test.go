@@ -1,0 +1,37 @@
+package ballerino_test
+
+import (
+	"math"
+	"testing"
+
+	ballerino "repro"
+	"repro/internal/workload"
+)
+
+// TestCalibratedIPC is the closed-form cross-check (companion to
+// TestTopdownLittlesLaw): every catalogued calibrated operating point,
+// run on the unified out-of-order scheduler, must reach a steady-state
+// IPC within 10% of the Carroll–Lin queuing-model prediction. The warm-up
+// discards the loop's fill transient so the measurement is the
+// steady-state recurrence throughput the model describes.
+func TestCalibratedIPC(t *testing.T) {
+	for name, chains := range workload.CalibPresets {
+		pred, err := workload.PredictIPC(chains, 8)
+		if err != nil {
+			t.Fatalf("%s: predict: %v", name, err)
+		}
+		res, err := ballerino.Run(ballerino.Config{
+			Arch: "OoO", Workload: name, MaxOps: 200_000, WarmupOps: 20_000,
+		})
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		rel := math.Abs(res.IPC-pred) / pred
+		if rel > 0.10 {
+			t.Errorf("%s: measured IPC %.4f vs predicted %.4f (%.1f%% off, tolerance 10%%)",
+				name, res.IPC, pred, 100*rel)
+		} else {
+			t.Logf("%s: measured %.4f predicted %.4f (%.1f%% off)", name, res.IPC, pred, 100*rel)
+		}
+	}
+}

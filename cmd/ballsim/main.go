@@ -6,6 +6,8 @@
 //	ballsim -arch Ballerino -workload stream -ops 200000
 //	ballsim -compare -ops 100000            # all architectures × kernels
 //	ballsim -trace run.trace.json -metrics run.csv   # observability sinks
+//	ballsim -trace-out stream.balltrace      # record the μop trace to a file
+//	ballsim -trace-in stream.balltrace -arch OoO     # replay a recorded trace
 //	ballsim -json                            # machine-readable manifest
 package main
 
@@ -53,6 +55,9 @@ func run() int {
 		compare = flag.Bool("compare", false, "run every architecture on every kernel")
 		par     = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight for -compare (1 = sequential)")
 		verbose = flag.Bool("v", false, "print scheduler counters and energy breakdown")
+
+		traceIn  = flag.String("trace-in", "", "replay a recorded ballerino.trace/v1 file (overrides -workload/-footprint/-ops)")
+		traceOut = flag.String("trace-out", "", "record the run's μop trace to a ballerino.trace/v1 file")
 
 		trace    = flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 		events   = flag.String("events", "", "write a JSONL pipeline event log")
@@ -135,7 +140,7 @@ func run() int {
 		return runCompare(ctx, *width, *ops, *foot, *par, *jsonOut, *topdown)
 	}
 
-	res, err := ballerino.RunContext(ctx, ballerino.Config{
+	cfg := ballerino.Config{
 		Arch:           *arch,
 		Width:          *width,
 		Workload:       *wl,
@@ -154,7 +159,36 @@ func run() int {
 		MetricsPath:    *metrics,
 		ManifestPath:   *manifest,
 		ObsInterval:    *interval,
-	})
+	}
+
+	// Record/replay: -trace-in replays a file through the same batch API a
+	// generated trace uses (the file's workload identity wins over the
+	// flags); -trace-out records the trace this run would simulate. With
+	// both, the imported trace is re-exported verbatim.
+	if *traceIn != "" {
+		t, err := ballerino.ImportTrace(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cfg = t.Configure(cfg)
+	} else if *traceOut != "" {
+		t, err := ballerino.PrepareTrace(ctx, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		cfg.Trace = t
+	}
+	if *traceOut != "" {
+		if err := ballerino.ExportTrace(*traceOut, cfg.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("recorded %s: %s (%d μops)\n", *traceOut, cfg.Trace.Workload(), cfg.Trace.Ops())
+	}
+
+	res, err := ballerino.RunContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		var se *ballerino.SimError

@@ -42,11 +42,12 @@ var figures = []figure{
 	{"mdp", exp.MDPImpact},
 	{"ablations", exp.Ablations},
 	{"casino-search", exp.CasinoSearch},
+	{"calib", exp.Calibration},
 }
 
 func main() {
 	var (
-		figs = flag.String("fig", "all", "comma-separated figure ids (3c,4,6a,6b,11,12,13,14,15,16,17a,17b,17c,mdp,ablations,casino-search,cpistack,tables) or 'all'")
+		figs = flag.String("fig", "all", "comma-separated figure ids (3c,4,6a,6b,11,12,13,14,15,16,17a,17b,17c,mdp,ablations,casino-search,calib,cpistack,tables) or 'all'")
 		ops  = flag.Int("ops", 150_000, "dynamic μops per simulation")
 		wls  = flag.String("workloads", "", "comma-separated kernel subset (default all)")
 		par  = flag.Int("parallel", 0, "simulations in flight per figure (0 = GOMAXPROCS)")

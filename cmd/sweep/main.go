@@ -39,6 +39,8 @@ func run() int {
 		par    = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight at once (1 = sequential)")
 		td     = flag.Bool("topdown", false, "append per-category top-down slot-fraction columns to every row")
 
+		traceIn = flag.String("trace-in", "", "sweep a recorded ballerino.trace/v1 file instead of generating traces (overrides -workloads/-ops)")
+
 		traceDir   = flag.String("trace", "", "directory for per-run Chrome trace_event JSON files")
 		metricsDir = flag.String("metrics", "", "directory for per-run interval-metrics CSV files")
 		interval   = flag.Uint64("interval", 0, "heartbeat interval in cycles (0 = 10000)")
@@ -109,6 +111,20 @@ func run() int {
 	}
 	w.Write(header)
 
+	// With -trace-in the grid collapses to (architecture × width) over the
+	// one imported trace: every point replays the identical μop stream, so
+	// the sweep isolates pure timing-model differences.
+	var imported *ballerino.Trace
+	if *traceIn != "" {
+		t, err := ballerino.ImportTrace(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		imported = t
+		*wls = t.Workload()
+	}
+
 	// Build the whole grid up front, then run it as one campaign: traces
 	// are shared across architectures and widths, and -parallel bounds the
 	// worker pool. Row order matches the old sequential loop exactly.
@@ -129,6 +145,9 @@ func run() int {
 					WarmupOps:   *warm,
 					ObsInterval: *interval,
 					Topdown:     *td,
+				}
+				if imported != nil {
+					cfg = imported.Configure(cfg)
 				}
 				stem := fmt.Sprintf("%s-w%d-%s", cfg.Arch, cfg.Width, cfg.Workload)
 				if *traceDir != "" {

@@ -86,6 +86,10 @@ const (
 // NumOps is the number of distinct opcode classes.
 const NumOps = int(numOps)
 
+// Valid reports whether o names a real opcode class — the range check a
+// trace importer runs before letting a decoded μop near the pipeline.
+func (o Op) Valid() bool { return o < numOps }
+
 var opNames = [...]string{
 	OpNop:    "nop",
 	OpIntALU: "alu",
@@ -130,6 +134,12 @@ const (
 	numFns
 )
 
+// NumFns is the number of distinct ALU function codes.
+const NumFns = int(numFns)
+
+// Valid reports whether f names a real ALU function code.
+func (f Fn) Valid() bool { return f < numFns }
+
 var fnNames = [...]string{
 	FnAdd: "add", FnSub: "sub", FnMul: "mul", FnDiv: "div",
 	FnAnd: "and", FnOr: "or", FnXor: "xor", FnShl: "shl",
@@ -153,7 +163,14 @@ const (
 	BrNEZ                  // taken if src1 != 0
 	BrLTZ                  // taken if src1 < 0
 	BrGEZ                  // taken if src1 >= 0
+	numBrConds
 )
+
+// NumBrConds is the number of distinct branch conditions.
+const NumBrConds = int(numBrConds)
+
+// Valid reports whether c names a real branch condition.
+func (c BrCond) Valid() bool { return c < numBrConds }
 
 func (c BrCond) String() string {
 	switch c {

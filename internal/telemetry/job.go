@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,9 +13,10 @@ import (
 )
 
 // JobSpec is the wire form of one simulation job — the subset of
-// ballerino.Config a client may select over HTTP (no file paths: a served
-// job's artifacts are its manifest and the live streams, never ad-hoc
-// files on the serving host).
+// ballerino.Config a client may select over HTTP. A job's *output*
+// artifacts are its manifest and the live streams, never ad-hoc files on
+// the serving host; the one path a spec may carry is TraceFile, a
+// read-only *input* the operator provisions.
 type JobSpec struct {
 	Arch           string `json:"arch"`
 	Workload       string `json:"workload"`
@@ -34,6 +36,14 @@ type JobSpec struct {
 	// per-category slot counters then stream through the heartbeat fan-out
 	// and land in the job view and /metrics.
 	Topdown bool `json:"topdown,omitempty"`
+	// TraceFile names a recorded ballerino.trace/v1 file on the serving
+	// host to replay instead of generating the workload's trace. The
+	// file's workload identity (kernel, footprint, dynamic budget)
+	// overrides Workload, FootprintBytes and Ops; timing knobs and
+	// WarmupOps still apply. The server only ever reads the path, and the
+	// job's content key is derived from the trace identity, so replayed
+	// jobs dedup against generated ones in the durable store.
+	TraceFile string `json:"trace_file,omitempty"`
 }
 
 // Config lowers the spec to a runnable ballerino.Config.
@@ -54,11 +64,37 @@ func (sp JobSpec) Config() ballerino.Config {
 	}
 }
 
+// lower resolves the spec to its runnable config: when TraceFile is set,
+// the trace is imported — through tc when non-nil, so a server shares one
+// decode across jobs — and its workload identity overlaid on the config.
+func (sp JobSpec) lower(ctx context.Context, tc *ballerino.TraceCache) (ballerino.Config, error) {
+	cfg := sp.Config()
+	if sp.TraceFile == "" {
+		return cfg, nil
+	}
+	var t *ballerino.Trace
+	var err error
+	if tc != nil {
+		t, err = tc.Import(ctx, sp.TraceFile)
+	} else {
+		t, err = ballerino.ImportTrace(sp.TraceFile)
+	}
+	if err != nil {
+		return cfg, err
+	}
+	return t.Configure(cfg), nil
+}
+
 // Key returns the spec's config+trace content key — the identity the
 // durable store addresses completed results by. JobSpec cannot express a
-// custom program, so the key always exists for a valid spec.
+// custom program, so the key always exists for a valid spec (for a
+// TraceFile spec, provided the file is readable).
 func (sp JobSpec) Key() (string, error) {
-	return sp.Config().ContentKey()
+	cfg, err := sp.lower(context.Background(), nil)
+	if err != nil {
+		return "", err
+	}
+	return cfg.ContentKey()
 }
 
 // JobState is a job's lifecycle phase.

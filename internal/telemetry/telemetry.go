@@ -536,10 +536,17 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if !s.started.Load() || !s.ready.Load() {
 		return nil, errors.New("telemetry: server not accepting jobs")
 	}
-	if err := spec.Config().Validate(); err != nil {
+	// Lower through the shared trace cache: a TraceFile spec is imported
+	// once here (validating the file at admission, not at run time) and
+	// every job over the same trace reuses the decoded entry.
+	cfg, err := spec.lower(context.Background(), s.traces)
+	if err != nil {
 		return nil, err
 	}
-	key, err := spec.Key()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := cfg.ContentKey()
 	if err != nil {
 		return nil, err
 	}
@@ -783,20 +790,29 @@ func (s *Server) runJob(job *Job) {
 					IPC: iv.IPC(), Interval: iv,
 				})
 			})
-			cfg := job.Spec.Config()
-			cfg.Recorder = rec
 			// Thread the attempt span through the run context: the trace
-			// cache's lookup, trace generation, warm-up and the simulation
-			// itself all record themselves as its children.
+			// cache's lookup, trace import/generation, warm-up and the
+			// simulation itself all record themselves as its children.
 			runCtx = span.ContextWith(runCtx, asp)
-			// Share the μop trace across jobs over the same kernel. A Prepare
-			// failure (bad config, cancellation) is deliberately dropped here:
-			// RunContext reproduces the identical error below, on the path that
-			// already classifies it.
-			if t, terr := s.traces.Prepare(runCtx, cfg); terr == nil {
-				cfg.Trace = t
+			// Lower through the shared cache: a TraceFile spec replays its
+			// imported trace (a failure here — e.g. the file vanished since
+			// admission — fails the attempt), and a generated spec shares
+			// the μop trace across jobs over the same kernel. A Prepare
+			// failure (bad config, cancellation) is deliberately dropped:
+			// RunContext reproduces the identical error below, on the path
+			// that already classifies it.
+			cfg, lerr := job.Spec.lower(runCtx, s.traces)
+			if lerr != nil {
+				err = lerr
+			} else {
+				cfg.Recorder = rec
+				if cfg.Trace == nil {
+					if t, terr := s.traces.Prepare(runCtx, cfg); terr == nil {
+						cfg.Trace = t
+					}
+				}
+				res, err = ballerino.RunContext(runCtx, cfg)
 			}
-			res, err = ballerino.RunContext(runCtx, cfg)
 			if cerr := rec.Close(); cerr != nil {
 				flushMsg = fmt.Sprintf("sink flush: %v", cerr)
 			}

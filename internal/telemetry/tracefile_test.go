@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	ballerino "repro"
+)
+
+// TestTraceFileJob: a job submitted with a TraceFile replays the recorded
+// trace through the normal lifecycle, carries the same content key as the
+// equivalent generated job (so the durable store serves the replay from
+// the generated job's result), and a spec naming a missing or corrupt
+// file is rejected at admission with the tracefile error stage.
+func TestTraceFileJob(t *testing.T) {
+	s, _ := newDurableTestServer(t, Options{Store: openStore(t, t.TempDir())})
+
+	spec := JobSpec{Arch: "OoO", Workload: "store-load", Ops: 10_000}
+	tr, err := ballerino.PrepareTrace(context.Background(), spec.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store-load.balltrace")
+	if err := ballerino.ExportTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, gen.ID, JobDone)
+
+	replay, err := s.Submit(JobSpec{Arch: "OoO", TraceFile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, replay.ID, JobDone)
+	if replay.Key() != gen.Key() {
+		t.Errorf("replay key %q != generated key %q", replay.Key(), gen.Key())
+	}
+	v := replay.View(false)
+	if !v.FromStore {
+		t.Error("replay with the generated job's key was recomputed, not served from the store")
+	}
+	if v.Spec.Workload != "" || v.Spec.TraceFile != path {
+		t.Errorf("replay spec mutated: %+v", v.Spec)
+	}
+
+	// Identity mismatches and unreadable files fail at admission.
+	if _, err := s.Submit(JobSpec{Arch: "OoO", TraceFile: filepath.Join(t.TempDir(), "nope.balltrace")}); err == nil {
+		t.Error("missing trace file accepted")
+	} else {
+		var se *ballerino.SimError
+		if !errors.As(err, &se) || se.Stage != "tracefile" {
+			t.Errorf("missing-file error = %v, want *SimError stage tracefile", err)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sort"
+
 	"repro/internal/isa"
 	"repro/internal/prog"
 )
@@ -12,11 +14,22 @@ import (
 // emphasise (data-dependent tree descent, shifting strides, butterfly
 // permutations).
 func Extras(p Params) []Workload {
-	return []Workload{
+	ws := []Workload{
 		BSTSearch(p),
 		ShellSortPass(p),
 		Butterfly(p),
 	}
+	// The calibrated operating points (calibrated.go): queuing-model-
+	// derived kernels whose steady-state IPC has a closed-form prediction.
+	names := make([]string, 0, len(CalibPresets))
+	for name := range CalibPresets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws = append(ws, Calibrated(name, CalibPresets[name], p))
+	}
+	return ws
 }
 
 // BSTSearch emulates search-tree descent (mcf's spanning-tree walks,

@@ -22,6 +22,15 @@ import (
 type Trace struct {
 	key string
 	tr  *prog.Trace
+
+	// wl, fp and ops are the workload identity the trace was generated
+	// under — the fields of key, kept unparsed so the exporter can write
+	// them into a trace file header without string surgery. ops is the
+	// requested dynamic budget; the stream may be shorter if the program
+	// halted early.
+	wl  string
+	fp  int64
+	ops int
 }
 
 // Ops returns the dynamic μop count of the trace.
@@ -166,7 +175,21 @@ func prepareResolved(ctx context.Context, rc resolved) (*Trace, error) {
 	if err != nil {
 		return nil, simErr("trace", err)
 	}
-	return &Trace{key: traceKey(rc.Config), tr: tr}, nil
+	fp := rc.FootprintBytes
+	if fp == 0 {
+		fp = workload.DefaultParams.Footprint
+	}
+	wl := rc.Workload
+	if rc.Custom != nil {
+		wl = program.Name
+	}
+	return &Trace{
+		key: traceKey(rc.Config),
+		tr:  tr,
+		wl:  wl,
+		fp:  fp,
+		ops: rc.MaxOps + rc.WarmupOps,
+	}, nil
 }
 
 // DefaultTraceCacheBytes is the byte budget a zero-valued cache size

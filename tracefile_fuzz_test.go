@@ -1,0 +1,94 @@
+package ballerino_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	ballerino "repro"
+)
+
+// fuzzSeedTrace encodes one small valid trace to seed the corpus.
+func fuzzSeedTrace(f *testing.F) []byte {
+	f.Helper()
+	tr, err := ballerino.PrepareTrace(context.Background(),
+		ballerino.Config{Workload: "stream", MaxOps: 2_000, FootprintBytes: 1 << 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ballerino.WriteTrace(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzVersionSkew hand-builds a stream whose header claims an unknown
+// format version (with a valid CRC, so it reaches the version check).
+func fuzzVersionSkew(f *testing.F) []byte {
+	f.Helper()
+	hdr, err := json.Marshal(map[string]any{
+		"format": "ballerino.trace/v1", "version": 99,
+		"isa":      map[string]int{"int_regs": 64, "fp_regs": 64, "op_classes": 10, "word_bytes": 8},
+		"workload": "stream", "ops": 1, "trace_key": "wl:stream|fp:65536|ops:1",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("ballerino.trace\x00")
+	buf.Write(binary.AppendUvarint(nil, uint64(len(hdr))))
+	buf.Write(hdr)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(hdr, crc32.MakeTable(crc32.Castagnoli)))
+	buf.Write(crc[:])
+	return buf.Bytes()
+}
+
+// FuzzTraceFile drives the trace importer with arbitrary bytes: malformed
+// input must never panic, and every rejection must be a typed *SimError
+// with Stage "tracefile" (the contract ballserved relies on to turn a bad
+// uploaded trace into a clean job failure). The seed corpus covers the
+// interesting classes — a valid stream, truncations at several depths,
+// single-byte corruption, a flipped trailing CRC, version skew and bare
+// magic.
+func FuzzTraceFile(f *testing.F) {
+	valid := fuzzSeedTrace(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1]) // clipped end-chunk CRC
+	f.Add(valid[:17])
+	f.Add([]byte("ballerino.trace\x00"))
+	f.Add([]byte("not a trace"))
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/3] ^= 0x41
+	f.Add(flipped)
+	badCRC := bytes.Clone(valid)
+	badCRC[len(badCRC)-1] ^= 0xFF
+	f.Add(badCRC)
+	f.Add(fuzzVersionSkew(f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ballerino.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			var se *ballerino.SimError
+			if !errors.As(err, &se) {
+				t.Fatalf("importer error is not a *SimError: %v", err)
+			}
+			if se.Stage != "tracefile" {
+				t.Fatalf("importer error stage = %q, want \"tracefile\": %v", se.Stage, err)
+			}
+			return
+		}
+		// Accepted input must be a coherent trace: the CRCs, digest and
+		// identity checks passed, so the basic invariants hold.
+		if tr.Key() == "" || tr.Workload() == "" || tr.Ops() <= 0 {
+			t.Fatalf("accepted trace with incoherent identity: key=%q wl=%q ops=%d",
+				tr.Key(), tr.Workload(), tr.Ops())
+		}
+	})
+}
